@@ -1,0 +1,23 @@
+// Command critpath lists the longest paths of a circuit with the
+// robust testability status of their delay faults — the raw material
+// of the paper's P0/P1 selection, in human-readable form.
+//
+// Usage:
+//
+//	critpath -profile s1423 [-top 20] [-np 2000]
+//	critpath -bench circuit.bench -top 10
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.CritPath(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "critpath:", err)
+		os.Exit(1)
+	}
+}

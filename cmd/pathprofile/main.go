@@ -1,0 +1,24 @@
+// Command pathprofile prints the path length profile of a circuit:
+// for each length L_i (longest first) the number of path delay faults
+// of that length and the cumulative count N_p(L_i), the quantity that
+// drives the P0/P1 partition (Table 2 of the DATE 2002 paper).
+//
+// Usage:
+//
+//	pathprofile -profile s1423 [-np 10000] [-top 20]
+//	pathprofile -bench circuit.bench ...
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.PathProfile(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pathprofile:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,35 @@
+// Command pdfatpg runs the full path delay fault test generation flow
+// on one circuit: path enumeration under a fault budget, undetectable
+// fault screening, P0/P1 partition, and either the basic compaction
+// procedure or the test enrichment procedure of the DATE 2002 paper.
+//
+// Usage:
+//
+//	pdfatpg -profile b09 [-np 2000] [-np0 300] [-heuristic values] [-enrich] [-seed 1]
+//	        [-bnb] [-collapse] [-report] [-tests out.txt]
+//	pdfatpg -bench circuit.bench ...
+//	pdfatpg -verilog circuit.v -tdf
+//
+// Exactly one of -profile (embedded s27/c17 or a synthetic stand-in
+// name), -bench (ISCAS-89 .bench netlist) and -verilog (structural
+// Verilog) selects the circuit; sequential circuits are reduced to
+// their combinational logic. -enrich runs the paper's enrichment
+// procedure, -bnb switches to the deterministic branch-and-bound
+// justification backend, -collapse removes subsumed faults before
+// targeting, -tdf generates transition fault tests instead, and
+// -report prints coverage by path length and observation point.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.PDFATPG(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pdfatpg:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,26 @@
+// Command pdfdiag locates path delay faults from tester observations:
+// given a test set and the PASS/FAIL (optionally failing-output)
+// syndrome observed on a device, it ranks candidate faults by
+// cause-effect consistency.
+//
+// Usage:
+//
+//	pdfdiag -profile b09 -tests tests.txt -syndrome syndrome.txt [-top 10]
+//
+// The syndrome file has one line per test: "PASS" or
+// "FAIL [output names...]".
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.PDFDiag(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pdfdiag:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,26 @@
+// Command pdfsim fault simulates a two-pattern test set against the
+// path delay faults of a circuit under the robust detection criterion,
+// using the word-parallel simulator.
+//
+// Usage:
+//
+//	pdfsim -profile b09 -tests tests.txt [-np 2000]
+//	pdfsim -bench circuit.bench -tests tests.txt [-faults faults.txt]
+//
+// Faults come from budgeted path enumeration (-np) unless an explicit
+// fault list (-faults, in testio format) is given.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.PDFSim(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pdfsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,22 @@
+// Command synthgen emits a synthetic benchmark circuit as an ISCAS-89
+// .bench netlist on stdout.
+//
+// Usage:
+//
+//	synthgen -profile b04                  # a named stand-in profile
+//	synthgen -pis 40 -gates 300 -levels 18 -seed 7 -name mycirc
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.SynthGen(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,25 @@
+// Command tables regenerates the evaluation tables of the DATE 2002
+// paper "Test Enrichment for Path Delay Faults Using Multiple Sets of
+// Target Faults" on the benchmark stand-in circuits.
+//
+// Usage:
+//
+//	tables [-np N] [-np0 N] [-seed S] [-table all|1|2|3|4|5|6|7] [-circuits a,b,c]
+//
+// With the default scaled parameters the whole suite takes a few
+// minutes; -np 10000 -np0 1000 reproduces the paper's budgets.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.Tables(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}

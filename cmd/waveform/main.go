@@ -1,0 +1,26 @@
+// Command waveform runs one two-pattern test through the event-driven
+// timing simulator and dumps the resulting waveforms as a VCD file,
+// optionally with extra delay injected on a path delay fault.
+//
+// Usage:
+//
+//	waveform -profile s27 -test "0010010 -> 1010010" -o out.vcd
+//	waveform -bench c.bench -test "01 -> 10" -delay 3 -inject "G1,G12,G12->G13,G13" -extra 20
+//
+// The injected path is given as a comma-separated list of line names
+// (the format of internal/testio fault lists).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.Waveform(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "waveform:", err)
+		os.Exit(1)
+	}
+}

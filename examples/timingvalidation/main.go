@@ -1,0 +1,78 @@
+// Timingvalidation: demonstrates, with an event-driven timing
+// simulator, the guarantee that makes robust tests worth generating —
+// a robust test detects its path delay fault under *every* assignment
+// of delays to the rest of the circuit.
+//
+//	go run ./examples/timingvalidation
+//
+// For each robustly testable fault of s27 the example generates a
+// test, then throws random per-line delays at the circuit, injects
+// extra delay on the faulty path, and samples the path's output at the
+// fault-free clock period. The sampled value is wrong every time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/justify"
+	"repro/internal/pathenum"
+	"repro/internal/robust"
+	"repro/internal/timingsim"
+)
+
+func main() {
+	c := bench.S27()
+	res, err := pathenum.Enumerate(c, pathenum.Config{Mode: pathenum.DistancePruned})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kept, _ := robust.Screen(c, res.Faults)
+	j := justify.New(c, justify.Config{Seed: 1})
+	rng := rand.New(rand.NewSource(2026))
+
+	const trials = 50
+	faultsChecked, validations := 0, 0
+	var sample string
+	for i := range kept {
+		f := &kept[i].Fault
+		test, ok := j.Justify(&kept[i].Alts[0])
+		if !ok {
+			continue
+		}
+		faultsChecked++
+		for trial := 0; trial < trials; trial++ {
+			delays := make(timingsim.Delays, len(c.Lines))
+			for l := range delays {
+				delays[l] = 1 + rng.Intn(9)
+			}
+			faultFree, err := timingsim.Simulate(c, delays, test)
+			if err != nil {
+				log.Fatal(err)
+			}
+			period := faultFree.SettleTime()
+			extra := period // generous: path now clearly exceeds the period
+			faulty, err := timingsim.Simulate(c, delays.WithExtraOnPath(f.Path, extra), test)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !timingsim.Detected(faulty, f.Path, period, faultFree) {
+				log.Fatalf("MISSED: %s under %v", f.Format(c), delays)
+			}
+			validations++
+			if sample == "" {
+				sink := f.Path[len(f.Path)-1]
+				sample = fmt.Sprintf("example: fault %s\n  test %v\n  clock period %d, injected +%d on the path\n  output %s: expected %v, sampled %v",
+					f.Format(c), test, period, extra,
+					c.Lines[sink].Name,
+					faultFree.Waveforms[sink].Settled(),
+					faulty.Waveforms[sink].At(period))
+			}
+		}
+	}
+	fmt.Println(sample)
+	fmt.Printf("\nvalidated %d faults × %d random delay assignments = %d detections, 0 misses\n",
+		faultsChecked, trials, validations)
+}

@@ -1,0 +1,32 @@
+package bench
+
+import "repro/internal/circuit"
+
+// C17Source is the ISCAS-85 benchmark circuit c17 in .bench format:
+// the smallest classic combinational benchmark (6 NAND gates), handy
+// as a second embedded real netlist for tests and examples.
+const C17Source = `# c17 (ISCAS-85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+// C17 returns the c17 circuit. It panics on failure, which cannot
+// happen for the embedded source.
+func C17() *circuit.Circuit {
+	c, err := ParseCombinationalString("c17", C17Source)
+	if err != nil {
+		panic("bench: embedded c17 failed to parse: " + err.Error())
+	}
+	return c
+}

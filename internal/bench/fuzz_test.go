@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCombinational checks that arbitrary input never panics the
+// parser or the combinational extraction, and that successful parses
+// survive a write/re-parse round trip.
+func FuzzParseCombinational(f *testing.F) {
+	f.Add(S27Source)
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(y)\ny = AND(a, b)\n")
+	f.Add("# only a comment\n")
+	f.Add("INPUT(a)\nOUTPUT(a)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = XOR(a, a)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = AND(a,a,a,a,a,a)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseCombinationalString("fuzz", src)
+		if err != nil {
+			return
+		}
+		// Valid circuits must round trip.
+		var sb strings.Builder
+		if err := Write(&sb, c); err != nil {
+			t.Fatalf("write failed on parsed circuit: %v", err)
+		}
+		c2, err := ParseCombinationalString("fuzz2", sb.String())
+		if err != nil {
+			t.Fatalf("round trip failed: %v\noriginal:\n%s\nwritten:\n%s", err, src, sb.String())
+		}
+		if c.Stats() != c2.Stats() {
+			t.Fatalf("round trip changed circuit: %+v vs %+v", c.Stats(), c2.Stats())
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package bench
+
+import "repro/internal/circuit"
+
+// S27Source is the ISCAS-89 benchmark circuit s27 in .bench format.
+// Its combinational logic (3 flip-flops extracted) has 7 inputs, 4
+// outputs and 26 lines, and is the running example of the DATE 2002
+// paper (Figure 1 and Table 1).
+const S27Source = `# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+// S27 returns the combinational logic of s27. It panics on failure,
+// which cannot happen for the embedded source.
+func S27() *circuit.Circuit {
+	c, err := ParseCombinationalString("s27", S27Source)
+	if err != nil {
+		panic("bench: embedded s27 failed to parse: " + err.Error())
+	}
+	return c
+}

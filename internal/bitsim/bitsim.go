@@ -1,0 +1,216 @@
+// Package bitsim performs word-parallel three-plane simulation: up to
+// 64 two-pattern tests are simulated through the circuit at once using
+// bitwise operations, one bit position per test.
+//
+// Values are dual-rail encoded per plane: bit i of H is set when test
+// i drives the net to 1, bit i of L when it drives it to 0; neither
+// bit set means x (only possible on the intermediate plane for fully
+// specified tests). This gives a ~64× throughput improvement for fault
+// simulation over large test sets — the dominant cost of Table 5-style
+// experiments — with results bit-identical to the scalar simulator.
+package bitsim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/circuit"
+	"repro/internal/robust"
+	"repro/internal/tval"
+)
+
+// WordSize is the number of tests simulated per batch.
+const WordSize = 64
+
+// Batch holds the dual-rail planes of one batch of tests.
+type Batch struct {
+	c *circuit.Circuit
+	n int // tests in this batch
+	// h[p][net] bit i: test i drives value 1 on plane p.
+	// l[p][net] bit i: test i drives value 0 on plane p.
+	h, l [circuit.NumPlanes][]uint64
+}
+
+// Simulate simulates up to 64 fully specified tests in one pass.
+func Simulate(c *circuit.Circuit, tests []circuit.TwoPattern) (*Batch, error) {
+	if len(tests) == 0 || len(tests) > WordSize {
+		return nil, fmt.Errorf("bitsim: batch of %d tests (want 1..%d)", len(tests), WordSize)
+	}
+	b := &Batch{c: c, n: len(tests)}
+	for p := 0; p < circuit.NumPlanes; p++ {
+		b.h[p] = make([]uint64, len(c.Lines))
+		b.l[p] = make([]uint64, len(c.Lines))
+	}
+	for ti, tp := range tests {
+		if !tp.FullySpecified() {
+			return nil, fmt.Errorf("bitsim: test %d not fully specified", ti)
+		}
+		bit := uint64(1) << uint(ti)
+		for i, pi := range c.PIs {
+			set(b, 0, pi, tp.P1[i], bit)
+			set(b, 2, pi, tp.P3[i], bit)
+			if tp.P1[i] == tp.P3[i] {
+				set(b, 1, pi, tp.P1[i], bit)
+			}
+		}
+	}
+	for _, gi := range c.TopoGates() {
+		g := &c.Gates[gi]
+		for p := 0; p < circuit.NumPlanes; p++ {
+			b.evalGate(g, p)
+		}
+	}
+	return b, nil
+}
+
+func set(b *Batch, plane, net int, v tval.V, bit uint64) {
+	if v == tval.One {
+		b.h[plane][net] |= bit
+	} else if v == tval.Zero {
+		b.l[plane][net] |= bit
+	}
+}
+
+func (b *Batch) evalGate(g *circuit.Gate, p int) {
+	c := b.c
+	h, l := b.h[p], b.l[p]
+	var oh, ol uint64
+	switch g.Type {
+	case circuit.Not:
+		net := c.Lines[g.In[0]].Net
+		oh, ol = l[net], h[net]
+	case circuit.Buf:
+		net := c.Lines[g.In[0]].Net
+		oh, ol = h[net], l[net]
+	case circuit.And, circuit.Nand:
+		oh, ol = ^uint64(0), 0
+		for _, in := range g.In {
+			net := c.Lines[in].Net
+			oh &= h[net]
+			ol |= l[net]
+		}
+		if g.Type == circuit.Nand {
+			oh, ol = ol, oh
+		}
+	case circuit.Or, circuit.Nor:
+		oh, ol = 0, ^uint64(0)
+		for _, in := range g.In {
+			net := c.Lines[in].Net
+			oh |= h[net]
+			ol &= l[net]
+		}
+		if g.Type == circuit.Nor {
+			oh, ol = ol, oh
+		}
+	case circuit.Xor, circuit.Xnor:
+		oh, ol = 0, ^uint64(0) // parity starts at 0
+		for _, in := range g.In {
+			net := c.Lines[in].Net
+			nh := (oh & l[net]) | (ol & h[net])
+			nl := (oh & h[net]) | (ol & l[net])
+			oh, ol = nh, nl
+		}
+		if g.Type == circuit.Xnor {
+			oh, ol = ol, oh
+		}
+	}
+	h[g.Out], l[g.Out] = oh, ol
+}
+
+// Value returns the simulated value of a line on a plane for one test.
+func (b *Batch) Value(line, plane, test int) tval.V {
+	net := b.c.Lines[line].Net
+	bit := uint64(1) << uint(test)
+	switch {
+	case b.h[plane][net]&bit != 0:
+		return tval.One
+	case b.l[plane][net]&bit != 0:
+		return tval.Zero
+	}
+	return tval.X
+}
+
+// Covers returns the mask of tests in the batch whose simulated values
+// satisfy every requirement of the cube.
+func (b *Batch) Covers(cube *robust.Cube) uint64 {
+	mask := batchMask(b.n)
+	for i, net := range cube.Nets {
+		req := cube.Vals[i]
+		for p := 0; p < circuit.NumPlanes && mask != 0; p++ {
+			switch req.At(p) {
+			case tval.One:
+				mask &= b.h[p][net]
+			case tval.Zero:
+				mask &= b.l[p][net]
+			}
+		}
+		if mask == 0 {
+			return 0
+		}
+	}
+	return mask
+}
+
+// Detects returns the mask of tests detecting the fault (covering any
+// alternative).
+func (b *Batch) Detects(fc *robust.FaultConditions) uint64 {
+	var mask uint64
+	for i := range fc.Alts {
+		mask |= b.Covers(&fc.Alts[i])
+	}
+	return mask
+}
+
+func batchMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// Run is the word-parallel equivalent of faultsim.Run: it returns, for
+// each fault, the index of the first detecting test, or -1.
+func Run(c *circuit.Circuit, tests []circuit.TwoPattern, fcs []robust.FaultConditions) ([]int, error) {
+	firstDet := make([]int, len(fcs))
+	for i := range firstDet {
+		firstDet[i] = -1
+	}
+	remaining := len(fcs)
+	for base := 0; base < len(tests) && remaining > 0; base += WordSize {
+		end := base + WordSize
+		if end > len(tests) {
+			end = len(tests)
+		}
+		b, err := Simulate(c, tests[base:end])
+		if err != nil {
+			return nil, err
+		}
+		for fi := range fcs {
+			if firstDet[fi] >= 0 {
+				continue
+			}
+			if mask := b.Detects(&fcs[fi]); mask != 0 {
+				firstDet[fi] = base + lowestBit(mask)
+				remaining--
+			}
+		}
+	}
+	return firstDet, nil
+}
+
+// Count returns how many faults the test set detects.
+func Count(c *circuit.Circuit, tests []circuit.TwoPattern, fcs []robust.FaultConditions) (int, error) {
+	first, err := Run(c, tests, fcs)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, d := range first {
+		if d >= 0 {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func lowestBit(x uint64) int { return bits.TrailingZeros64(x) }

@@ -1,0 +1,62 @@
+// Package cli implements the command-line tools as testable functions:
+// each takes raw arguments and output writers and returns an error, so
+// the cmd/ binaries are one-line wrappers and the whole surface is
+// covered by tests.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/experiments"
+	"repro/internal/verilog"
+)
+
+// circuitFlags adds the standard circuit-selection flags to a flag set
+// and returns a loader.
+func circuitFlags(fs *flag.FlagSet) func() (*circuit.Circuit, error) {
+	profile := fs.String("profile", "", "synthetic benchmark profile name, or s27/c17")
+	benchFile := fs.String("bench", "", "path to an ISCAS-89 .bench netlist")
+	verilogFile := fs.String("verilog", "", "path to a structural Verilog netlist")
+	return func() (*circuit.Circuit, error) {
+		set := 0
+		for _, s := range []string{*profile, *benchFile, *verilogFile} {
+			if s != "" {
+				set++
+			}
+		}
+		if set > 1 {
+			return nil, fmt.Errorf("use exactly one of -profile, -bench, -verilog")
+		}
+		switch {
+		case *profile != "":
+			return experiments.LoadCircuit(*profile)
+		case *benchFile != "":
+			f, err := os.Open(*benchFile)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return bench.ParseCombinational(*benchFile, f)
+		case *verilogFile != "":
+			f, err := os.Open(*verilogFile)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return verilog.ParseCombinational(*verilogFile, f)
+		}
+		return nil, fmt.Errorf("one of -profile, -bench or -verilog is required")
+	}
+}
+
+// newFlagSet builds a flag set that reports errors instead of exiting.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}

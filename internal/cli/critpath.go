@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/pathenum"
+	"repro/internal/robust"
+)
+
+// CritPath implements cmd/critpath: the longest paths with robust
+// testability status.
+func CritPath(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("critpath", stderr)
+	load := circuitFlags(fs)
+	var (
+		top = fs.Int("top", 20, "number of paths to list")
+		np  = fs.Int("np", 2000, "enumeration fault budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := load()
+	if err != nil {
+		return err
+	}
+	res, err := pathenum.Enumerate(c, pathenum.Config{
+		MaxFaults: *np, Mode: pathenum.DistancePruned,
+	})
+	if err != nil {
+		return err
+	}
+	im := robust.NewImplier(c)
+	printed := 0
+	fmt.Fprintf(stdout, "%4s %6s %-4s %-12s path\n", "#", "length", "dir", "robust")
+	for i := range res.Faults {
+		if printed >= *top {
+			break
+		}
+		f := &res.Faults[i]
+		status := "testable"
+		alts := robust.Conditions(c, f)
+		if len(alts) == 0 {
+			status = "conflict"
+		} else {
+			ok := false
+			for a := range alts {
+				if _, consistent := im.Imply(&alts[a]); consistent {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				status = "implied-unt."
+			}
+		}
+		fmt.Fprintf(stdout, "%4d %6d %-4s %-12s %s\n",
+			printed+1, f.Length, f.Dir, status, c.PathString(f.Path))
+		printed++
+	}
+	fmt.Fprintf(stdout, "(%d faults enumerated)\n", len(res.Faults))
+	return nil
+}

@@ -1,0 +1,41 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/pathenum"
+)
+
+// PathProfile implements cmd/pathprofile: the N_p(L_i) length profile.
+func PathProfile(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("pathprofile", stderr)
+	load := circuitFlags(fs)
+	np := fs.Int("np", 10000, "N_P: fault budget for path enumeration")
+	top := fs.Int("top", 20, "number of length classes to print (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := load()
+	if err != nil {
+		return err
+	}
+	res, err := pathenum.Enumerate(c, pathenum.Config{
+		MaxFaults: *np,
+		Mode:      pathenum.DistancePruned,
+	})
+	if err != nil {
+		return err
+	}
+	prof := faults.Profile(res.Faults)
+	if *top > 0 && len(prof) > *top {
+		prof = prof[:*top]
+	}
+	experiments.RenderTable2(stdout, c.Name, prof)
+	fmt.Fprintf(stdout, "(%d faults enumerated, %d extension steps, %d evictions)\n",
+		len(res.Faults), res.Stats.Extensions,
+		res.Stats.EvictedComplete+res.Stats.EvictedPartial)
+	return nil
+}

@@ -1,0 +1,142 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/faultsim"
+	"repro/internal/report"
+	"repro/internal/robust"
+	"repro/internal/tdf"
+	"repro/internal/testio"
+)
+
+// PDFATPG implements cmd/pdfatpg: the full test generation flow on one
+// circuit.
+func PDFATPG(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("pdfatpg", stderr)
+	load := circuitFlags(fs)
+	var (
+		np        = fs.Int("np", 2000, "N_P: fault budget for path enumeration")
+		np0       = fs.Int("np0", 300, "N_P0: minimum size of the first target set")
+		heuristic = fs.String("heuristic", "values", "compaction heuristic: uncomp, arbit, length, values")
+		enrich    = fs.Bool("enrich", false, "run the test enrichment procedure (P0 and P1)")
+		useBnB    = fs.Bool("bnb", false, "use the branch-and-bound justification backend")
+		tdfMode   = fs.Bool("tdf", false, "generate transition fault tests instead (extension)")
+		seed      = fs.Int64("seed", 1, "randomization seed")
+		testsOut  = fs.String("tests", "", "write the generated two-pattern tests to this file")
+		rep       = fs.Bool("report", false, "print a coverage report (by path length and observation point)")
+		collapse  = fs.Bool("collapse", false, "collapse subsumed faults before targeting (coverage still measured on the full set)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := load()
+	if err != nil {
+		return err
+	}
+	st := c.Stats()
+	fmt.Fprintf(stdout, "circuit %s: %d inputs, %d outputs, %d gates, %d lines, depth %d\n",
+		c.Name, st.PIs, st.POs, st.Gates, st.Lines, st.Depth)
+
+	if *tdfMode {
+		tfs := tdf.AllFaults(c)
+		res := tdf.Generate(c, tfs, tdf.Config{Seed: *seed})
+		fmt.Fprintf(stdout, "transition faults: %d targets, %d surrogate path delay faults\n",
+			len(tfs), res.Surrogates)
+		fmt.Fprintf(stdout, "tdf: %d tests, detected %d/%d (%.1f%%)\n",
+			len(res.Tests), res.DetectedCount, len(tfs),
+			100*float64(res.DetectedCount)/float64(len(tfs)))
+		return writeTestsFile(stdout, *testsOut, res.Tests)
+	}
+
+	p := experiments.Params{NP: *np, NP0: *np0, Seed: *seed}
+	d, err := experiments.PrepareCircuit(c, p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "enumerated %d faults (budget %d), eliminated %d undetectable\n",
+		d.Enumerated, *np, d.Eliminated)
+	fmt.Fprintf(stdout, "partition: i0=%d, |P0|=%d, |P1|=%d\n", d.I0, len(d.P0), len(d.P1))
+
+	p0, p1 := d.P0, d.P1
+	if *collapse {
+		p0 = collapseSet(stdout, "P0", p0)
+		p1 = collapseSet(stdout, "P1", p1)
+	}
+
+	cfg := core.Config{Seed: *seed, UseBnB: *useBnB}
+	var tests []circuit.TwoPattern
+	if *enrich {
+		er := core.Enrich(c, p0, p1, cfg)
+		tests = er.Tests
+		fmt.Fprintf(stdout, "enrichment: %d tests, P0 detected %d/%d, P0∪P1 detected %d/%d (%.1fs)\n",
+			len(er.Tests), er.DetectedP0Count, len(p0),
+			er.DetectedP0Count+er.DetectedP1Count, len(p0)+len(p1),
+			er.Elapsed.Seconds())
+	} else {
+		h, err := parseHeuristic(*heuristic)
+		if err != nil {
+			return err
+		}
+		cfg.Heuristic = h
+		res := core.Generate(c, p0, cfg)
+		tests = res.Tests
+		fmt.Fprintf(stdout, "basic (%s): %d tests, P0 detected %d/%d, aborts %d (%.1fs)\n",
+			h, len(res.Tests), res.DetectedCount, len(p0), res.PrimaryAborts,
+			res.Elapsed.Seconds())
+		all := d.All()
+		fmt.Fprintf(stdout, "P0∪P1 accidental detection: %d/%d\n",
+			faultsim.Count(c, res.Tests, all), len(all))
+	}
+	if *rep {
+		fmt.Fprintln(stdout)
+		report.Build(c, tests, d.All()).Render(stdout)
+	}
+	return writeTestsFile(stdout, *testsOut, tests)
+}
+
+// collapseSet removes subsumed faults from a target set, reporting the
+// reduction.
+func collapseSet(stdout io.Writer, name string, fcs []robust.FaultConditions) []robust.FaultConditions {
+	reps, subsumed := robust.Collapse(fcs)
+	if len(subsumed) == 0 {
+		return fcs
+	}
+	out := make([]robust.FaultConditions, len(reps))
+	for i, r := range reps {
+		out[i] = fcs[r]
+	}
+	fmt.Fprintf(stdout, "collapsed %s: %d -> %d targets (%d subsumed)\n",
+		name, len(fcs), len(out), len(subsumed))
+	return out
+}
+
+func writeTestsFile(stdout io.Writer, path string, tests []circuit.TwoPattern) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := testio.WriteTests(f, tests); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d tests to %s\n", len(tests), path)
+	return nil
+}
+
+func parseHeuristic(s string) (core.Heuristic, error) {
+	for _, h := range core.Heuristics {
+		if h.String() == s {
+			return h, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown heuristic %q (want uncomp, arbit, length or values)", s)
+}

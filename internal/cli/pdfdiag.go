@@ -1,0 +1,80 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/diagnose"
+	"repro/internal/experiments"
+	"repro/internal/testio"
+)
+
+// PDFDiag implements cmd/pdfdiag: rank candidate path delay faults
+// against a tester syndrome.
+func PDFDiag(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("pdfdiag", stderr)
+	load := circuitFlags(fs)
+	var (
+		testsFile    = fs.String("tests", "", "two-pattern test set file (required)")
+		syndromeFile = fs.String("syndrome", "", "tester observations, PASS/FAIL per test (required)")
+		np           = fs.Int("np", 2000, "N_P fault budget for the candidate population")
+		np0          = fs.Int("np0", 300, "N_P0 (affects only the candidate ordering)")
+		top          = fs.Int("top", 10, "number of candidates to print")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := load()
+	if err != nil {
+		return err
+	}
+	if *testsFile == "" || *syndromeFile == "" {
+		return fmt.Errorf("-tests and -syndrome are required")
+	}
+	tf, err := os.Open(*testsFile)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	tests, err := testio.ReadTests(tf, len(c.PIs))
+	if err != nil {
+		return err
+	}
+	sf, err := os.Open(*syndromeFile)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	obs, err := diagnose.ReadSyndrome(sf, c)
+	if err != nil {
+		return err
+	}
+	if len(obs) != len(tests) {
+		return fmt.Errorf("syndrome has %d observations for %d tests", len(obs), len(tests))
+	}
+
+	d, err := experiments.PrepareCircuit(c, experiments.Params{NP: *np, NP0: *np0, Seed: 1})
+	if err != nil {
+		return err
+	}
+	fcs := d.All()
+	cands := diagnose.Diagnose(c, tests, fcs, obs)
+	if len(cands) == 0 {
+		fmt.Fprintln(stdout, "no candidate explains any observation")
+		return nil
+	}
+	fmt.Fprintf(stdout, "%4s %6s %5s %5s %5s  fault\n", "#", "score", "expl", "contr", "unexp")
+	for i, cd := range cands {
+		if i >= *top {
+			break
+		}
+		fmt.Fprintf(stdout, "%4d %6d %5d %5d %5d  %s\n",
+			i+1, cd.Score, cd.Explained, cd.Contradicted, cd.Unexplained,
+			fcs[cd.Fault].Fault.Format(c))
+	}
+	if diagnose.PerfectScore(cands, obs) {
+		fmt.Fprintln(stdout, "top candidate explains the complete syndrome")
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/synth"
+)
+
+// SynthGen implements cmd/synthgen: emit a synthetic benchmark as a
+// .bench netlist on stdout.
+func SynthGen(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("synthgen", stderr)
+	var (
+		profile = fs.String("profile", "", "named stand-in profile (see -list)")
+		list    = fs.Bool("list", false, "list known profiles and exit")
+		name    = fs.String("name", "synth", "circuit name for custom generation")
+		pis     = fs.Int("pis", 32, "number of primary inputs")
+		gates   = fs.Int("gates", 200, "number of gates")
+		levels  = fs.Int("levels", 14, "target logic depth")
+		fanin   = fs.Int("fanin", 4, "maximum gate fanin")
+		xor     = fs.Float64("xor", 0.03, "fraction of XOR/XNOR gates")
+		inv     = fs.Float64("inv", 0.14, "fraction of NOT/BUF gates")
+		seed    = fs.Int64("seed", 1, "generator seed")
+		ffs     = fs.Int("ffs", 0, "emit a sequential circuit with this many flip-flops")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, n := range synth.ProfileNames() {
+			p := synth.BenchmarkProfiles[n]
+			fmt.Fprintf(stdout, "%-8s pis=%d gates=%d levels=%d\n", n, p.PIs, p.Gates, p.Levels)
+		}
+		return nil
+	}
+
+	p := synth.Profile{
+		Name: *name, Seed: *seed, PIs: *pis, Gates: *gates,
+		Levels: *levels, MaxFanin: *fanin, XorFrac: *xor, InvFrac: *inv,
+	}
+	if *profile != "" {
+		var ok bool
+		p, ok = synth.BenchmarkProfiles[*profile]
+		if !ok {
+			return fmt.Errorf("unknown profile %q (try -list)", *profile)
+		}
+	}
+	if *ffs > 0 {
+		src, err := synth.SequentialSource(p, *ffs)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(stdout, src)
+		return err
+	}
+	c, err := synth.Generate(p)
+	if err != nil {
+		return err
+	}
+	return bench.Write(stdout, c)
+}

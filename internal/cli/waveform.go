@@ -1,0 +1,90 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/testio"
+	"repro/internal/timingsim"
+)
+
+// Waveform implements cmd/waveform: timing-simulate one test to VCD.
+func Waveform(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("waveform", stderr)
+	load := circuitFlags(fs)
+	var (
+		testStr    = fs.String("test", "", `two-pattern test, e.g. "0010010 -> 1010010"`)
+		delayVal   = fs.Int("delay", 2, "uniform per-line delay")
+		inject     = fs.String("inject", "", "path (comma-separated line names) to slow down")
+		extra      = fs.Int("extra", 10, "extra delay injected on the path")
+		distribute = fs.Bool("distribute", false, "spread the extra delay over the whole path")
+		out        = fs.String("o", "", "output VCD file (default stdout)")
+		timescale  = fs.String("timescale", "1ns", "VCD timescale")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := load()
+	if err != nil {
+		return err
+	}
+	if *testStr == "" {
+		return fmt.Errorf("-test is required")
+	}
+	tests, err := testio.ReadTests(strings.NewReader(*testStr+"\n"), len(c.PIs))
+	if err != nil {
+		return err
+	}
+	if len(tests) != 1 {
+		return fmt.Errorf("expected exactly one test, got %d", len(tests))
+	}
+
+	delays := timingsim.UniformDelays(c, *delayVal)
+	if *inject != "" {
+		path, err := resolvePath(c, *inject)
+		if err != nil {
+			return err
+		}
+		if *distribute {
+			delays = delays.WithExtraDistributed(path, *extra)
+		} else {
+			delays = delays.WithExtraOnPath(path, *extra)
+		}
+		fmt.Fprintf(stderr, "injected +%d on %s\n", *extra, c.PathString(path))
+	}
+	r, err := timingsim.Simulate(c, delays, tests[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "circuit settles at t=%d\n", r.SettleTime())
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return timingsim.WriteVCD(w, c, r, *timescale)
+}
+
+func resolvePath(c *circuit.Circuit, spec string) ([]int, error) {
+	names := strings.Split(spec, ",")
+	path := make([]int, len(names))
+	for i, n := range names {
+		l := c.LineByName(strings.TrimSpace(n))
+		if l == nil {
+			return nil, fmt.Errorf("unknown line %q", n)
+		}
+		path[i] = l.ID
+	}
+	if err := c.ValidatePath(path); err != nil {
+		return nil, err
+	}
+	return path, nil
+}

@@ -1,0 +1,300 @@
+// Package core implements the paper's test generation procedures: the
+// basic dynamic-compaction ATPG with primary and secondary target
+// faults (Section 2.2) and the test enrichment procedure with multiple
+// sets of target faults (Section 3.2).
+//
+// Every test starts from a primary target fault. Secondary target
+// faults are added to the set P(t) one at a time; after each addition
+// the justification procedure regenerates a test satisfying the union
+// of the A(p) cubes of P(t) — the addition is accepted only if
+// regeneration succeeds. Once a test is complete, all remaining target
+// faults are fault simulated against it and detected faults are
+// dropped.
+//
+// The enrichment procedure runs the same loop with two target sets:
+// primaries come only from P0; secondaries come from P0 first and,
+// only when P0 is exhausted, from P1. Faults in P1 are therefore
+// detected without increasing the number of tests.
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/faultsim"
+	"repro/internal/justify"
+	"repro/internal/robust"
+	"repro/internal/tval"
+)
+
+// Heuristic selects the compaction heuristic of Section 2.2.
+type Heuristic int
+
+// The four procedures compared in Tables 3 and 4.
+const (
+	// Uncompacted generates one test per primary target fault, with no
+	// secondary targets (fault dropping still applies).
+	Uncompacted Heuristic = iota
+	// Arbitrary picks primary and secondary targets in fault-list
+	// order.
+	Arbitrary
+	// LengthBased picks primary and secondary targets longest path
+	// first.
+	LengthBased
+	// ValueBased picks the primary longest first and each secondary to
+	// minimize nΔ, the number of new values the test must satisfy.
+	ValueBased
+)
+
+var heuristicNames = [...]string{"uncomp", "arbit", "length", "values"}
+
+func (h Heuristic) String() string {
+	if int(h) < len(heuristicNames) {
+		return heuristicNames[h]
+	}
+	return "unknown"
+}
+
+// Heuristics lists all four in table order.
+var Heuristics = []Heuristic{Uncompacted, Arbitrary, LengthBased, ValueBased}
+
+// Config parameterizes a test generation run.
+type Config struct {
+	// Heuristic is the compaction heuristic (the enrichment procedure
+	// of Section 3.2 always uses ValueBased, as the paper selects).
+	Heuristic Heuristic
+	// Seed drives all random choices; equal seeds reproduce runs.
+	Seed int64
+	// DisableCheapAccept turns off the fast path that accepts a
+	// secondary fault without regenerating the test when the current
+	// test already covers the fault's conditions. The fast path never
+	// changes which faults a finished test detects (such faults would
+	// be dropped by the end-of-test fault simulation anyway); it only
+	// saves justification work. Disable for ablation.
+	DisableCheapAccept bool
+	// Justify configures the underlying justifier; Seed is copied in.
+	Justify justify.Config
+	// UseBnB replaces the randomized simulation-based justification
+	// with the complete branch-and-bound search, making results
+	// independent of the seed (the paper: run-to-run variations "can
+	// be eliminated by using a branch-and-bound procedure"). Note that
+	// the Arbitrary heuristic still shuffles with the seed.
+	UseBnB bool
+	// BnB configures the branch-and-bound search when UseBnB is set.
+	BnB justify.BnBConfig
+}
+
+// Result reports a run of the basic procedure over one target set.
+type Result struct {
+	Tests []circuit.TwoPattern
+	// Detected[i] reports whether target fault i was detected.
+	Detected []bool
+	// DetectedCount is the number of detected target faults.
+	DetectedCount int
+	// PrimaryAborts counts primary targets whose justification failed.
+	PrimaryAborts int
+	// SecondaryAccepts / SecondaryRejects count secondary target
+	// outcomes (CheapAccepts included in accepts).
+	SecondaryAccepts, SecondaryRejects, CheapAccepts int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// JustifyStats are the accumulated justifier counters.
+	JustifyStats justify.Stats
+}
+
+// backend abstracts the two justification procedures.
+type backend interface {
+	justifyCube(cube *robust.Cube) (circuit.TwoPattern, bool)
+	stats() justify.Stats
+}
+
+type randomizedBackend struct{ j *justify.Justifier }
+
+func (b randomizedBackend) justifyCube(cube *robust.Cube) (circuit.TwoPattern, bool) {
+	return b.j.Justify(cube)
+}
+func (b randomizedBackend) stats() justify.Stats { return b.j.Stats() }
+
+type bnbBackend struct{ b *justify.BnB }
+
+func (b bnbBackend) justifyCube(cube *robust.Cube) (circuit.TwoPattern, bool) {
+	test, ok, _ := b.b.Justify(cube)
+	return test, ok
+}
+func (b bnbBackend) stats() justify.Stats {
+	st := b.b.Stats()
+	return justify.Stats{Calls: st.Calls, Successes: st.Successes}
+}
+
+// generator holds the shared state of one run.
+type generator struct {
+	c        *circuit.Circuit
+	cfg      Config
+	rng      *rand.Rand
+	just     backend
+	faults   []robust.FaultConditions
+	detected []bool
+	tried    []bool
+	arbOrder []int // iteration order for Arbitrary
+}
+
+func newGenerator(c *circuit.Circuit, fcs []robust.FaultConditions, cfg Config) *generator {
+	var be backend
+	if cfg.UseBnB {
+		be = bnbBackend{justify.NewBnB(c, cfg.BnB)}
+	} else {
+		jcfg := cfg.Justify
+		jcfg.Seed = cfg.Seed
+		be = randomizedBackend{justify.New(c, jcfg)}
+	}
+	g := &generator{
+		c:        c,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		just:     be,
+		faults:   fcs,
+		detected: make([]bool, len(fcs)),
+		tried:    make([]bool, len(fcs)),
+	}
+	g.arbOrder = g.rng.Perm(len(fcs))
+	return g
+}
+
+// Generate runs the basic test generation procedure of Section 2 on a
+// single target set (already screened: every fault has alternatives).
+func Generate(c *circuit.Circuit, fcs []robust.FaultConditions, cfg Config) *Result {
+	start := time.Now()
+	g := newGenerator(c, fcs, cfg)
+	res := &Result{}
+	setOf := make([]int, len(fcs))
+	for {
+		pi := g.pickPrimarySet(setOf, 0)
+		if pi < 0 {
+			break
+		}
+		g.tried[pi] = true
+		test, cube, ok := g.justifyFault(pi, nil)
+		if !ok {
+			res.PrimaryAborts++
+			continue
+		}
+		if cfg.Heuristic != Uncompacted {
+			test = g.addSecondariesPhased(pi, test, cube, res, setOf, 1)
+		}
+		res.Tests = append(res.Tests, test)
+		g.dropDetected(test, nil)
+	}
+	g.fill(res)
+	res.Elapsed = time.Since(start)
+	res.JustifyStats = g.just.stats()
+	return res
+}
+
+// EnrichResult reports a run of the enrichment procedure.
+type EnrichResult struct {
+	Tests []circuit.TwoPattern
+	// DetectedP0 / DetectedP1 are per-fault detection flags for the
+	// two target sets.
+	DetectedP0, DetectedP1                           []bool
+	DetectedP0Count                                  int
+	DetectedP1Count                                  int
+	PrimaryAborts                                    int
+	SecondaryAccepts, SecondaryRejects, CheapAccepts int
+	Elapsed                                          time.Duration
+	JustifyStats                                     justify.Stats
+}
+
+// Enrich runs the test enrichment procedure of Section 3.2: primaries
+// and first-phase secondaries from p0; second-phase secondaries from
+// p1. It always uses the value-based secondary ordering unless the
+// config selects another compaction heuristic. Enrich is the k = 2
+// case of EnrichK, the configuration the paper evaluates.
+func Enrich(c *circuit.Circuit, p0, p1 []robust.FaultConditions, cfg Config) *EnrichResult {
+	kres := EnrichK(c, [][]robust.FaultConditions{p0, p1}, cfg)
+	return &EnrichResult{
+		Tests:            kres.Tests,
+		DetectedP0:       kres.Detected[0],
+		DetectedP1:       kres.Detected[1],
+		DetectedP0Count:  kres.DetectedCounts[0],
+		DetectedP1Count:  kres.DetectedCounts[1],
+		PrimaryAborts:    kres.PrimaryAborts,
+		SecondaryAccepts: kres.SecondaryAccepts,
+		SecondaryRejects: kres.SecondaryRejects,
+		CheapAccepts:     kres.CheapAccepts,
+		Elapsed:          kres.Elapsed,
+		JustifyStats:     kres.JustifyStats,
+	}
+}
+
+// justifyFault tries the fault's alternatives (merged into base when
+// non-nil) and returns the first test found with the merged cube.
+func (g *generator) justifyFault(i int, base *robust.Cube) (circuit.TwoPattern, robust.Cube, bool) {
+	for a := range g.faults[i].Alts {
+		cube := g.faults[i].Alts[a]
+		if base != nil {
+			m, ok := base.Merge(&g.faults[i].Alts[a])
+			if !ok {
+				continue
+			}
+			cube = m
+		}
+		if test, ok := g.just.justifyCube(&cube); ok {
+			return test, cube, true
+		}
+	}
+	return circuit.TwoPattern{}, robust.Cube{}, false
+}
+
+// minDeltaIndex returns the position in cand of the fault whose best
+// alternative adds the fewest new value positions to the cube.
+func (g *generator) minDeltaIndex(cand []int, cube *robust.Cube) int {
+	best, bestDelta := 0, int(^uint(0)>>1)
+	for pos, fi := range cand {
+		for a := range g.faults[fi].Alts {
+			d := cube.NewlySpecified(&g.faults[fi].Alts[a])
+			if d < bestDelta {
+				bestDelta = d
+				best = pos
+			}
+		}
+	}
+	return best
+}
+
+// dropDetected fault simulates the finished test over all undetected
+// target faults and marks detections.
+func (g *generator) dropDetected(test circuit.TwoPattern, _ []bool) {
+	sim := test.Simulate(g.c)
+	for i := range g.faults {
+		if g.detected[i] {
+			continue
+		}
+		if faultsim.DetectsSim(&g.faults[i], sim) {
+			g.detected[i] = true
+		}
+	}
+}
+
+func (g *generator) fill(res *Result) {
+	res.Detected = append([]bool(nil), g.detected...)
+	for _, d := range g.detected {
+		if d {
+			res.DetectedCount++
+		}
+	}
+}
+
+// RandomTest returns a random fully specified two-pattern test; used
+// by comparison baselines and tests.
+func RandomTest(c *circuit.Circuit, rng *rand.Rand) circuit.TwoPattern {
+	tp := circuit.TwoPattern{
+		P1: make([]tval.V, len(c.PIs)),
+		P3: make([]tval.V, len(c.PIs)),
+	}
+	for i := range tp.P1 {
+		tp.P1[i] = tval.V(rng.Intn(2))
+		tp.P3[i] = tval.V(rng.Intn(2))
+	}
+	return tp
+}

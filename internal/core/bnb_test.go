@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/faultsim"
+	"repro/internal/justify"
+)
+
+func TestGenerateWithBnBSeedIndependent(t *testing.T) {
+	// With the branch-and-bound backend the result must not depend on
+	// the seed (for heuristics that do not shuffle the fault list) —
+	// the paper's remark about eliminating run-to-run variation.
+	c := bench.S27()
+	fcs := screened(t, c, 0)
+	a := Generate(c, fcs, Config{Heuristic: ValueBased, Seed: 1, UseBnB: true})
+	b := Generate(c, fcs, Config{Heuristic: ValueBased, Seed: 999, UseBnB: true})
+	if len(a.Tests) != len(b.Tests) || a.DetectedCount != b.DetectedCount {
+		t.Fatalf("BnB runs differ across seeds: %d/%d vs %d/%d",
+			len(a.Tests), a.DetectedCount, len(b.Tests), b.DetectedCount)
+	}
+	for i := range a.Tests {
+		if a.Tests[i].String() != b.Tests[i].String() {
+			t.Fatalf("test %d differs across seeds under BnB", i)
+		}
+	}
+}
+
+func TestGenerateWithBnBDominatesRandomized(t *testing.T) {
+	c := bench.S27()
+	fcs := screened(t, c, 0)
+	bnb := Generate(c, fcs, Config{Heuristic: ValueBased, Seed: 1, UseBnB: true})
+	rnd := Generate(c, fcs, Config{Heuristic: ValueBased, Seed: 1})
+	if bnb.DetectedCount < rnd.DetectedCount {
+		t.Errorf("complete search detected fewer faults: %d vs %d",
+			bnb.DetectedCount, rnd.DetectedCount)
+	}
+	// Detection flags must be confirmed by resimulation.
+	resim := faultsim.Run(c, bnb.Tests, fcs)
+	for i := range fcs {
+		if (resim[i] >= 0) != bnb.Detected[i] {
+			t.Fatalf("fault %d: reported %v, resim %v", i, bnb.Detected[i], resim[i] >= 0)
+		}
+	}
+}
+
+func TestEnrichWithBnB(t *testing.T) {
+	c := bench.S27()
+	fcs := screened(t, c, 0)
+	half := len(fcs) / 2
+	er := Enrich(c, fcs[:half], fcs[half:], Config{Seed: 1, UseBnB: true,
+		BnB: justify.BnBConfig{MaxBacktracks: 5000}})
+	if er.DetectedP0Count == 0 {
+		t.Fatal("BnB enrichment detected nothing")
+	}
+	if len(er.Tests) == 0 {
+		t.Fatal("no tests")
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/justify"
+	"repro/internal/robust"
+)
+
+// EnrichKResult reports a run of the generalized enrichment procedure
+// over k target sets.
+type EnrichKResult struct {
+	Tests []circuit.TwoPattern
+	// Detected[s][i] reports detection of fault i of set s.
+	Detected [][]bool
+	// DetectedCounts[s] is the number of detected faults of set s.
+	DetectedCounts                                   []int
+	PrimaryAborts                                    int
+	SecondaryAccepts, SecondaryRejects, CheapAccepts int
+	Elapsed                                          time.Duration
+	JustifyStats                                     justify.Stats
+}
+
+// EnrichK generalizes the enrichment procedure to any number of target
+// sets, in decreasing criticality order: primaries come only from
+// sets[0]; secondary targets are taken from sets[0], then sets[1], and
+// so on — a set is considered only after every fault of the more
+// critical sets has been considered for the current test. The paper
+// notes this generalization in Section 3.1 ("it is possible to
+// partition P into a larger number of subsets") and evaluates k = 2.
+func EnrichK(c *circuit.Circuit, sets [][]robust.FaultConditions, cfg Config) *EnrichKResult {
+	if cfg.Heuristic == Uncompacted {
+		cfg.Heuristic = ValueBased
+	}
+	start := time.Now()
+	var all []robust.FaultConditions
+	setOf := make([]int, 0)
+	for s, set := range sets {
+		all = append(all, set...)
+		for range set {
+			setOf = append(setOf, s)
+		}
+	}
+	g := newGenerator(c, all, cfg)
+	res := &Result{}
+	for {
+		pi := g.pickPrimarySet(setOf, 0)
+		if pi < 0 {
+			break
+		}
+		g.tried[pi] = true
+		test, cube, ok := g.justifyFault(pi, nil)
+		if !ok {
+			res.PrimaryAborts++
+			continue
+		}
+		test = g.addSecondariesPhased(pi, test, cube, res, setOf, len(sets))
+		res.Tests = append(res.Tests, test)
+		g.dropDetected(test, nil)
+	}
+	out := &EnrichKResult{
+		Tests:            res.Tests,
+		Detected:         make([][]bool, len(sets)),
+		DetectedCounts:   make([]int, len(sets)),
+		PrimaryAborts:    res.PrimaryAborts,
+		SecondaryAccepts: res.SecondaryAccepts,
+		SecondaryRejects: res.SecondaryRejects,
+		CheapAccepts:     res.CheapAccepts,
+		Elapsed:          time.Since(start),
+		JustifyStats:     g.just.stats(),
+	}
+	idx := 0
+	for s, set := range sets {
+		out.Detected[s] = make([]bool, len(set))
+		for i := range set {
+			out.Detected[s][i] = g.detected[idx]
+			if g.detected[idx] {
+				out.DetectedCounts[s]++
+			}
+			idx++
+		}
+	}
+	return out
+}
+
+// pickPrimarySet picks the next primary from the given set.
+func (g *generator) pickPrimarySet(setOf []int, want int) int {
+	order := g.primaryOrder()
+	for _, i := range order {
+		if setOf[i] != want || g.detected[i] || g.tried[i] {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+func (g *generator) primaryOrder() []int {
+	if g.cfg.Heuristic == Arbitrary {
+		return g.arbOrder
+	}
+	order := make([]int, len(g.faults))
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// addSecondariesPhased runs the secondary loop over k phases.
+func (g *generator) addSecondariesPhased(primary int, test circuit.TwoPattern, cube robust.Cube, res *Result, setOf []int, k int) circuit.TwoPattern {
+	sim := test.Simulate(g.c)
+	for phase := 0; phase < k; phase++ {
+		cand := g.candidatesSet(primary, setOf, phase)
+		for len(cand) > 0 {
+			pick := 0
+			if g.cfg.Heuristic == ValueBased {
+				pick = g.minDeltaIndex(cand, &cube)
+			}
+			fi := cand[pick]
+			cand = append(cand[:pick], cand[pick+1:]...)
+			if g.detected[fi] {
+				continue
+			}
+			ok, cheap := false, false
+			var newTest circuit.TwoPattern
+			var newCube robust.Cube
+			if !g.cfg.DisableCheapAccept {
+				for a := range g.faults[fi].Alts {
+					alt := &g.faults[fi].Alts[a]
+					if alt.CoveredBy(sim) {
+						if m, mok := cube.Merge(alt); mok {
+							newCube, newTest, ok, cheap = m, test, true, true
+						}
+						break
+					}
+				}
+			}
+			if !ok {
+				newTest, newCube, ok = g.justifyFault(fi, &cube)
+			}
+			if ok {
+				cube = newCube
+				if !cheap {
+					test = newTest
+					sim = test.Simulate(g.c)
+				}
+				res.SecondaryAccepts++
+				if cheap {
+					res.CheapAccepts++
+				}
+			} else {
+				res.SecondaryRejects++
+			}
+		}
+	}
+	return test
+}
+
+func (g *generator) candidatesSet(primary int, setOf []int, want int) []int {
+	var order []int
+	if g.cfg.Heuristic == Arbitrary {
+		order = g.arbOrder
+	} else {
+		order = make([]int, len(g.faults))
+		for i := range order {
+			order[i] = i
+		}
+	}
+	var out []int
+	for _, i := range order {
+		if i == primary || g.detected[i] || setOf[i] != want {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}

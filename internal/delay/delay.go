@@ -1,0 +1,69 @@
+// Package delay defines the delay models used to measure path lengths.
+//
+// The DATE 2002 paper assumes "the delay of a path is equal to the
+// number of lines along the path" and notes that "other delay models
+// can be accommodated by the procedure we use". Model captures that
+// extension point: path length is the sum of per-line delays, and the
+// distance-based pruning bound of Section 3.1 works for any
+// non-negative integer line delay.
+package delay
+
+import "repro/internal/circuit"
+
+// Model assigns every circuit line a non-negative integer delay. The
+// length of a path is the sum of the delays of its lines.
+type Model interface {
+	// LineDelay returns the delay contribution of the line.
+	LineDelay(c *circuit.Circuit, line int) int
+}
+
+// Unit is the paper's model: every line contributes 1, so a path's
+// length is the number of lines along it.
+type Unit struct{}
+
+// LineDelay implements Model.
+func (Unit) LineDelay(*circuit.Circuit, int) int { return 1 }
+
+// PerGateType weights gate-output lines by gate type; primary inputs
+// and fanout branches contribute Wire. Types absent from Weights
+// default to 1.
+type PerGateType struct {
+	Weights map[circuit.GateType]int
+	Wire    int
+}
+
+// LineDelay implements Model.
+func (m PerGateType) LineDelay(c *circuit.Circuit, line int) int {
+	l := &c.Lines[line]
+	if l.Kind != circuit.LineStem {
+		return m.Wire
+	}
+	if w, ok := m.Weights[c.Gates[l.Gate].Type]; ok {
+		return w
+	}
+	return 1
+}
+
+// PerLine assigns explicit delays per line ID (for example from a
+// timing annotation); missing entries default to Default.
+type PerLine struct {
+	Delays  map[int]int
+	Default int
+}
+
+// LineDelay implements Model.
+func (m PerLine) LineDelay(_ *circuit.Circuit, line int) int {
+	if d, ok := m.Delays[line]; ok {
+		return d
+	}
+	return m.Default
+}
+
+// PathLength computes the length of a path under the model.
+func PathLength(c *circuit.Circuit, m Model, path []int) int {
+	total := 0
+	for _, l := range path {
+		total += m.LineDelay(c, l)
+	}
+	return total
+}

@@ -1,0 +1,70 @@
+package delay
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+)
+
+func TestUnitPathLength(t *testing.T) {
+	c := bench.S27()
+	// Any path's unit length is its line count.
+	g2 := c.LineByName("G2")
+	g13 := c.LineByName("G13")
+	path := []int{g2.ID, g13.ID}
+	if err := c.ValidatePath(path); err != nil {
+		t.Fatalf("G2→G13 must be a valid path: %v", err)
+	}
+	if got := PathLength(c, Unit{}, path); got != 2 {
+		t.Errorf("unit length = %d, want 2", got)
+	}
+}
+
+func TestPerGateType(t *testing.T) {
+	c := bench.S27()
+	m := PerGateType{
+		Weights: map[circuit.GateType]int{circuit.Nand: 3, circuit.Nor: 2},
+		Wire:    0,
+	}
+	g2 := c.LineByName("G2")   // PI: wire cost 0
+	g13 := c.LineByName("G13") // NOR stem: 2
+	if got := PathLength(c, m, []int{g2.ID, g13.ID}); got != 2 {
+		t.Errorf("weighted length = %d, want 2", got)
+	}
+	g9 := c.LineByName("G9") // NAND stem: 3
+	if got := m.LineDelay(c, g9.ID); got != 3 {
+		t.Errorf("NAND delay = %d, want 3", got)
+	}
+	g15 := c.LineByName("G15") // OR: not in map, defaults to 1
+	if got := m.LineDelay(c, g15.ID); got != 1 {
+		t.Errorf("unlisted gate delay = %d, want 1", got)
+	}
+}
+
+func TestPerLine(t *testing.T) {
+	c := bench.S27()
+	g0 := c.LineByName("G0")
+	m := PerLine{Delays: map[int]int{g0.ID: 7}, Default: 1}
+	if got := m.LineDelay(c, g0.ID); got != 7 {
+		t.Errorf("explicit delay = %d, want 7", got)
+	}
+	g1 := c.LineByName("G1")
+	if got := m.LineDelay(c, g1.ID); got != 1 {
+		t.Errorf("default delay = %d, want 1", got)
+	}
+}
+
+func TestBranchDelayUnderPerGateType(t *testing.T) {
+	c := bench.S27()
+	m := PerGateType{Wire: 5}
+	for i := range c.Lines {
+		if c.Lines[i].Kind == circuit.LineBranch {
+			if got := m.LineDelay(c, i); got != 5 {
+				t.Errorf("branch %s delay = %d, want wire cost 5", c.Lines[i].Name, got)
+			}
+			return
+		}
+	}
+	t.Fatal("s27 must have branch lines")
+}

@@ -1,0 +1,149 @@
+// Package equiv checks combinational equivalence of two circuits that
+// share primary input and output names — the validation tool for
+// netlist conversions (bench ↔ Verilog ↔ builder) and resynthesis.
+//
+// Circuits with up to ExhaustiveLimit inputs are compared exhaustively;
+// larger ones by seeded random sampling (a miss proves inequivalence,
+// agreement is only evidence).
+package equiv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/tval"
+)
+
+// ExhaustiveLimit is the input count up to which all 2^n patterns are
+// checked.
+const ExhaustiveLimit = 16
+
+// Result reports an equivalence check.
+type Result struct {
+	Equivalent bool
+	Exhaustive bool
+	Patterns   int
+	// Counterexample holds the distinguishing input pattern when
+	// Equivalent is false.
+	Counterexample []tval.V
+	// FailingOutput names the first differing output.
+	FailingOutput string
+}
+
+// Check compares the two circuits. Inputs and outputs are matched by
+// name; a mismatch in either interface is an error.
+func Check(a, b *circuit.Circuit, samples int, seed int64) (*Result, error) {
+	if err := sameInterface(a, b); err != nil {
+		return nil, err
+	}
+	bOrder, err := inputPermutation(a, b)
+	if err != nil {
+		return nil, err
+	}
+	outsA, outsB, names, err := outputPairs(a, b)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(a.PIs)
+	res := &Result{Equivalent: true}
+	try := func(pa []tval.V) bool {
+		pb := make([]tval.V, n)
+		for i, bi := range bOrder {
+			pb[bi] = pa[i]
+		}
+		ta := circuit.SimulateTriples(a, pa, pa)
+		tb := circuit.SimulateTriples(b, pb, pb)
+		for k := range outsA {
+			if ta[outsA[k]].P3() != tb[outsB[k]].P3() {
+				res.Equivalent = false
+				res.Counterexample = append([]tval.V(nil), pa...)
+				res.FailingOutput = names[k]
+				return false
+			}
+		}
+		return true
+	}
+
+	if n <= ExhaustiveLimit {
+		res.Exhaustive = true
+		total := 1 << uint(n)
+		pa := make([]tval.V, n)
+		for code := 0; code < total; code++ {
+			for i := 0; i < n; i++ {
+				pa[i] = tval.V(code >> uint(i) & 1)
+			}
+			res.Patterns++
+			if !try(pa) {
+				return res, nil
+			}
+		}
+		return res, nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	pa := make([]tval.V, n)
+	for s := 0; s < samples; s++ {
+		for i := range pa {
+			pa[i] = tval.V(r.Intn(2))
+		}
+		res.Patterns++
+		if !try(pa) {
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+func sameInterface(a, b *circuit.Circuit) error {
+	if len(a.PIs) != len(b.PIs) {
+		return fmt.Errorf("equiv: input counts differ: %d vs %d", len(a.PIs), len(b.PIs))
+	}
+	return nil
+}
+
+// inputPermutation maps a's PI order into b's: result[i] is the index
+// in b's PIs of a's i-th input name.
+func inputPermutation(a, b *circuit.Circuit) ([]int, error) {
+	byName := make(map[string]int)
+	for i, pi := range b.PIs {
+		byName[b.Lines[pi].Name] = i
+	}
+	out := make([]int, len(a.PIs))
+	for i, pi := range a.PIs {
+		name := a.Lines[pi].Name
+		j, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("equiv: input %q missing in %s", name, b.Name)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+// outputPairs matches output nets by name, returning parallel line ID
+// slices.
+func outputPairs(a, b *circuit.Circuit) (la, lb []int, names []string, err error) {
+	netOf := func(c *circuit.Circuit) map[string]int {
+		m := make(map[string]int)
+		for _, po := range c.POs {
+			net := c.Lines[po].Net
+			m[c.Lines[net].Name] = net
+		}
+		return m
+	}
+	ma, mb := netOf(a), netOf(b)
+	if len(ma) != len(mb) {
+		return nil, nil, nil, fmt.Errorf("equiv: output counts differ: %d vs %d", len(ma), len(mb))
+	}
+	for name, na := range ma {
+		nb, ok := mb[name]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("equiv: output %q missing in %s", name, b.Name)
+		}
+		la = append(la, na)
+		lb = append(lb, nb)
+		names = append(names, name)
+	}
+	return la, lb, names, nil
+}

@@ -1,0 +1,157 @@
+package equiv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/verilog"
+)
+
+func TestBenchVsVerilogC17(t *testing.T) {
+	const c17v = `module c17 (N1,N2,N3,N6,N7,N22,N23);
+input N1,N2,N3,N6,N7;
+output N22,N23;
+nand NAND2_1 (N10, N1, N3);
+nand NAND2_2 (N11, N3, N6);
+nand NAND2_3 (N16, N2, N11);
+nand NAND2_4 (N19, N11, N7);
+nand NAND2_5 (N22, N10, N16);
+nand NAND2_6 (N23, N16, N19);
+endmodule
+`
+	// The embedded c17 uses bare numeric names; build a matching bench
+	// source with the verilog names for a by-name comparison.
+	const c17b = `# c17 renamed
+INPUT(N1)
+INPUT(N2)
+INPUT(N3)
+INPUT(N6)
+INPUT(N7)
+OUTPUT(N22)
+OUTPUT(N23)
+N10 = NAND(N1, N3)
+N11 = NAND(N3, N6)
+N16 = NAND(N2, N11)
+N19 = NAND(N11, N7)
+N22 = NAND(N10, N16)
+N23 = NAND(N16, N19)
+`
+	a, err := bench.ParseCombinationalString("c17b", c17b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := verilog.ParseCombinational("c17v", strings.NewReader(c17v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(a, b, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || !res.Exhaustive {
+		t.Fatalf("c17 variants must be exhaustively equivalent: %+v", res)
+	}
+	if res.Patterns != 32 {
+		t.Errorf("patterns = %d, want 32", res.Patterns)
+	}
+}
+
+func TestDetectsInequivalence(t *testing.T) {
+	mk := func(gt circuit.GateType) *circuit.Circuit {
+		b := circuit.NewBuilder("g")
+		x := b.AddInput("x")
+		y := b.AddInput("y")
+		o := b.AddGate(gt, "o", x, y)
+		b.MarkOutput(o)
+		c, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	res, err := Check(mk(circuit.And), mk(circuit.Or), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("AND and OR reported equivalent")
+	}
+	if res.FailingOutput != "o" || res.Counterexample == nil {
+		t.Errorf("counterexample missing: %+v", res)
+	}
+	// Verify the counterexample truly distinguishes.
+	a, b := mk(circuit.And), mk(circuit.Or)
+	ta := circuit.SimulateTriples(a, res.Counterexample, res.Counterexample)
+	tb := circuit.SimulateTriples(b, res.Counterexample, res.Counterexample)
+	if ta[a.POs[0]].P3() == tb[b.POs[0]].P3() {
+		t.Error("counterexample does not distinguish the circuits")
+	}
+}
+
+func TestInterfaceMismatch(t *testing.T) {
+	b1 := circuit.NewBuilder("a")
+	x := b1.AddInput("x")
+	o := b1.AddGate(circuit.Not, "o", x)
+	b1.MarkOutput(o)
+	c1, _ := b1.Build()
+
+	b2 := circuit.NewBuilder("b")
+	x2 := b2.AddInput("x")
+	y2 := b2.AddInput("y")
+	o2 := b2.AddGate(circuit.And, "o", x2, y2)
+	b2.MarkOutput(o2)
+	c2, _ := b2.Build()
+
+	if _, err := Check(c1, c2, 10, 1); err == nil {
+		t.Error("input count mismatch must error")
+	}
+
+	b3 := circuit.NewBuilder("c")
+	z := b3.AddInput("z")
+	o3 := b3.AddGate(circuit.Not, "q", z)
+	b3.MarkOutput(o3)
+	c3, _ := b3.Build()
+	if _, err := Check(c1, c3, 10, 1); err == nil {
+		t.Error("name mismatch must error")
+	}
+}
+
+func TestRandomModeOnLargeCircuit(t *testing.T) {
+	// A 20-input parity pair sits above the exhaustive limit, forcing
+	// the sampling mode.
+	mk := func() *circuit.Circuit {
+		b := circuit.NewBuilder("wide")
+		cur := -1
+		for i := 0; i < 20; i++ {
+			in := b.AddInput(wname(i))
+			if cur < 0 {
+				cur = in
+			} else {
+				cur = b.AddGate(circuit.Xor, wname(100+i), cur, in)
+			}
+		}
+		b.MarkOutput(cur)
+		c, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c1, c2 := mk(), mk()
+	res, err := Check(c1, c2, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || res.Exhaustive {
+		t.Fatalf("random-mode self check failed: %+v", res)
+	}
+	if res.Patterns != 500 {
+		t.Errorf("patterns = %d, want 500", res.Patterns)
+	}
+}
+
+func wname(i int) string {
+	return "w" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}

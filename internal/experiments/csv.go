@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteBasicCSV emits the Tables 3-5 data as CSV (one row per circuit,
+// all heuristics in columns) for external plotting.
+func WriteBasicCSV(w io.Writer, rows []*BasicRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"circuit", "i0", "p0_faults",
+		"detected_uncomp", "detected_arbit", "detected_length", "detected_values",
+		"tests_uncomp", "tests_arbit", "tests_length", "tests_values",
+		"p0p1_faults",
+		"p0p1_detected_uncomp", "p0p1_detected_arbit", "p0p1_detected_length", "p0p1_detected_values",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Circuit, itoa(r.I0), itoa(r.P0Faults)}
+		for _, v := range r.Detected {
+			rec = append(rec, itoa(v))
+		}
+		for _, v := range r.Tests {
+			rec = append(rec, itoa(v))
+		}
+		rec = append(rec, itoa(r.P0P1Faults))
+		for _, v := range r.P0P1Detected {
+			rec = append(rec, itoa(v))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEnrichCSV emits the Tables 6-7 data as CSV.
+func WriteEnrichCSV(w io.Writer, rows []*EnrichRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"circuit", "i0", "p0_total", "p0_detected",
+		"p0p1_total", "p0p1_detected", "tests", "rt_ratio",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Circuit, itoa(r.I0), itoa(r.P0Total), itoa(r.P0Detected),
+			itoa(r.AllTotal), itoa(r.AllDetected), itoa(r.Tests),
+			strconv.FormatFloat(r.Ratio, 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+func TestSweepNP0(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := Params{NP: 1000, NP0: 50, Seed: 1}
+	d, err := Prepare("b09", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := d.All()
+	rows := SweepNP0(d.Circuit, kept, []int{20, 80, 200}, 1)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for i, r := range rows {
+		if r.P0Size+r.P1Size != len(kept) {
+			t.Errorf("row %d loses faults: %d + %d != %d", i, r.P0Size, r.P1Size, len(kept))
+		}
+		if r.P0Detected > r.P0Size || r.AllDetected > len(kept) {
+			t.Errorf("row %d inconsistent detection: %+v", i, r)
+		}
+		if i > 0 && r.P0Size < rows[i-1].P0Size {
+			t.Error("P0 must grow with N_P0")
+		}
+	}
+	// Growing P0 means more mandatory targets: the test count must not
+	// shrink dramatically (it is determined by P0).
+	if rows[2].Tests < rows[0].Tests/2 {
+		t.Errorf("test counts inverted: %v", rows)
+	}
+	t.Logf("sweep: %+v", rows)
+}

@@ -1,0 +1,70 @@
+// Package faultsim simulates two-pattern tests against path delay
+// faults under the robust detection criterion.
+//
+// A test robustly detects a fault iff the values it assigns cover one
+// of the fault's A(p) alternatives (Section 2.1 of the DATE 2002
+// paper: assigning the values in A(p) is necessary and sufficient).
+// The three-plane simulation is conservative about hazards, so a
+// "stable" requirement is only satisfied by a provably glitch-free
+// signal.
+package faultsim
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/robust"
+	"repro/internal/tval"
+)
+
+// DetectsSim reports whether precomputed simulation triples (indexed
+// by line ID) cover one of the fault's alternatives.
+func DetectsSim(fc *robust.FaultConditions, sim []tval.Triple) bool {
+	for i := range fc.Alts {
+		if fc.Alts[i].CoveredBy(sim) {
+			return true
+		}
+	}
+	return false
+}
+
+// Detects simulates one test and reports whether it detects the fault.
+func Detects(c *circuit.Circuit, test circuit.TwoPattern, fc *robust.FaultConditions) bool {
+	return DetectsSim(fc, test.Simulate(c))
+}
+
+// Run simulates every test against every fault and returns, for each
+// fault, the index of the first detecting test (-1 if none). Each
+// fault is dropped after its first detection.
+func Run(c *circuit.Circuit, tests []circuit.TwoPattern, fcs []robust.FaultConditions) []int {
+	firstDet := make([]int, len(fcs))
+	for i := range firstDet {
+		firstDet[i] = -1
+	}
+	remaining := len(fcs)
+	for ti := range tests {
+		if remaining == 0 {
+			break
+		}
+		sim := tests[ti].Simulate(c)
+		for fi := range fcs {
+			if firstDet[fi] >= 0 {
+				continue
+			}
+			if DetectsSim(&fcs[fi], sim) {
+				firstDet[fi] = ti
+				remaining--
+			}
+		}
+	}
+	return firstDet
+}
+
+// Count returns how many faults the test set detects.
+func Count(c *circuit.Circuit, tests []circuit.TwoPattern, fcs []robust.FaultConditions) int {
+	n := 0
+	for _, d := range Run(c, tests, fcs) {
+		if d >= 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,139 @@
+package justify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/pathenum"
+	"repro/internal/robust"
+	"repro/internal/tval"
+)
+
+// TestBnBProofsExhaustivelyCorrect: on small circuits, every BnB
+// verdict is checked against brute-force enumeration of all 4^n
+// two-pattern tests — a success must produce a covering test, a proof
+// of untestability must mean no covering test exists.
+func TestBnBProofsExhaustivelyCorrect(t *testing.T) {
+	for seed := int64(40); seed < 46; seed++ {
+		c := tinyCircuit(t, seed)
+		res, err := pathenum.Enumerate(c, pathenum.Config{Mode: pathenum.DistancePruned})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := NewBnB(c, BnBConfig{})
+		for fi := range res.Faults {
+			alts := robust.Conditions(c, &res.Faults[fi])
+			for ai := range alts {
+				cube := &alts[ai]
+				test, ok, proven := b.Justify(cube)
+				exists := false
+				bruteForce(len(c.PIs), func(tp circuit.TwoPattern) {
+					if !exists && cube.CoveredBy(tp.Simulate(c)) {
+						exists = true
+					}
+				})
+				switch {
+				case ok:
+					if !cube.CoveredBy(test.Simulate(c)) {
+						t.Fatalf("seed %d: BnB test does not cover its cube", seed)
+					}
+					if !exists {
+						t.Fatalf("seed %d: BnB found a test but brute force says none exists", seed)
+					}
+				case proven:
+					if exists {
+						t.Fatalf("seed %d: BnB proved untestable, brute force found a test (cube %s)",
+							seed, cube.Format(c))
+					}
+				default:
+					t.Fatalf("seed %d: BnB gave up on a tiny circuit", seed)
+				}
+			}
+		}
+	}
+}
+
+func bruteForce(n int, f func(tp circuit.TwoPattern)) {
+	total := 1
+	for i := 0; i < 2*n; i++ {
+		total *= 2
+	}
+	p1 := make([]tval.V, n)
+	p3 := make([]tval.V, n)
+	for code := 0; code < total; code++ {
+		c := code
+		for i := 0; i < n; i++ {
+			p1[i] = tval.V(c & 1)
+			c >>= 1
+			p3[i] = tval.V(c & 1)
+			c >>= 1
+		}
+		f(circuit.TwoPattern{P1: p1, P3: p3})
+	}
+}
+
+func tinyCircuit(t *testing.T, seed int64) *circuit.Circuit {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	b := circuit.NewBuilder("tiny")
+	n := 3 + r.Intn(3)
+	nets := make([]int, 0, n+8)
+	for i := 0; i < n; i++ {
+		nets = append(nets, b.AddInput(tinyName("i", i)))
+	}
+	types := []circuit.GateType{
+		circuit.And, circuit.Nand, circuit.Or, circuit.Nor, circuit.Not, circuit.Xnor,
+	}
+	gates := 4 + r.Intn(6)
+	for g := 0; g < gates; g++ {
+		gt := types[r.Intn(len(types))]
+		a := nets[r.Intn(len(nets))]
+		if gt == circuit.Not {
+			nets = append(nets, b.AddGate(gt, tinyName("g", g), a))
+			continue
+		}
+		c2 := nets[r.Intn(len(nets))]
+		nets = append(nets, b.AddGate(gt, tinyName("g", g), a, c2))
+	}
+	for _, nd := range nets {
+		b.MarkOutput(nd)
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func tinyName(p string, i int) string {
+	return p + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
+// TestRandomizedNeverBeatsBruteForce: on tiny circuits the randomized
+// justifier must never "succeed" on an unsatisfiable cube (soundness)
+// — its returned test always covers the cube, cross-checked against
+// the brute-force existence answer.
+func TestRandomizedNeverBeatsBruteForce(t *testing.T) {
+	for seed := int64(60); seed < 64; seed++ {
+		c := tinyCircuit(t, seed)
+		res, err := pathenum.Enumerate(c, pathenum.Config{Mode: pathenum.DistancePruned})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := New(c, Config{Seed: seed})
+		for fi := range res.Faults {
+			alts := robust.Conditions(c, &res.Faults[fi])
+			for ai := range alts {
+				cube := &alts[ai]
+				test, ok := j.Justify(cube)
+				if !ok {
+					continue
+				}
+				if !cube.CoveredBy(test.Simulate(c)) {
+					t.Fatalf("seed %d: justifier returned a non-covering test", seed)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package pathenum_test
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/pathenum"
+)
+
+// Budgeted enumeration of s27 with the paper's Table 1 budget of 20
+// paths (40 faults).
+func ExampleEnumerate() {
+	c := bench.S27()
+	res, _ := pathenum.Enumerate(c, pathenum.Config{
+		MaxFaults: 40,
+		Mode:      pathenum.Moderate,
+	})
+	fmt.Printf("kept %d paths, lengths %d..%d\n",
+		len(res.Faults)/2,
+		res.Faults[len(res.Faults)-1].Length,
+		res.Faults[0].Length)
+	// Output:
+	// kept 19 paths, lengths 4..10
+}
+
+// The Li-Reddy-Sahni cover: every line on one of the longest paths
+// through it.
+func ExampleLineCover() {
+	c := bench.C17()
+	fs := pathenum.LineCover(c, nil)
+	fmt.Printf("%d faults selected (%d paths) for %d lines\n",
+		len(fs), len(fs)/2, len(c.Lines))
+	// Output:
+	// 16 faults selected (8 paths) for 17 lines
+}

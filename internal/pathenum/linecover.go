@@ -1,0 +1,118 @@
+package pathenum
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/delay"
+	"repro/internal/faults"
+)
+
+// LineCover implements the path selection criterion of Li, Reddy and
+// Sahni (IEEE TCAD, Jan. 1989 — reference [3] of the DATE 2002 paper):
+// every line of the circuit is covered by at least one selected path
+// that is one of the *longest* paths through that line. The paper
+// cites this as the other common way to choose the target set P0.
+//
+// The selection runs in linear time: dIn(l), the longest prefix ending
+// at line l, and dOut(l), the longest suffix starting after l (the
+// distance of Section 3.1), give the longest path through l as any
+// path composed of a maximal prefix and a maximal suffix. One such
+// path is materialized per line and duplicates are removed. The result
+// is the fault list (two faults per selected path), sorted by
+// decreasing length.
+func LineCover(c *circuit.Circuit, m delay.Model) []faults.Fault {
+	if m == nil {
+		m = delay.Unit{}
+	}
+	dOut := Distances(c, m)
+	dIn := make([]int, len(c.Lines))
+	preds := predecessors(c)
+
+	// dIn in topological line order: every line's predecessors are
+	// built before it (builder invariant), except branches, which
+	// follow their stems; line IDs of branches are larger than their
+	// stems, so increasing ID order is a valid topological order.
+	for id := range c.Lines {
+		best := 0
+		for _, p := range preds[id] {
+			if dIn[p] > best {
+				best = dIn[p]
+			}
+		}
+		dIn[id] = best + m.LineDelay(c, id)
+	}
+
+	seen := make(map[string]bool)
+	var out []faults.Fault
+	for id := range c.Lines {
+		path := pathThrough(c, m, preds, dIn, dOut, id)
+		f := faults.Fault{Path: path, Dir: faults.SlowToRise,
+			Length: delay.PathLength(c, m, path)}
+		key := f.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, f)
+		out = append(out, faults.Fault{Path: path, Dir: faults.SlowToFall, Length: f.Length})
+	}
+	faults.SortByLengthDesc(out)
+	return out
+}
+
+// predecessors returns, per line, the lines that can precede it on a
+// path: the stem for a branch, the gate's input lines for a stem.
+func predecessors(c *circuit.Circuit) [][]int {
+	preds := make([][]int, len(c.Lines))
+	for id := range c.Lines {
+		l := &c.Lines[id]
+		switch l.Kind {
+		case circuit.LineBranch:
+			preds[id] = []int{l.Stem}
+		case circuit.LineStem:
+			preds[id] = c.Gates[l.Gate].In
+		}
+	}
+	return preds
+}
+
+// pathThrough materializes one longest complete path through line id:
+// a maximal-dIn backward walk to a primary input plus a maximal-bound
+// forward walk to a primary output.
+func pathThrough(c *circuit.Circuit, m delay.Model, preds [][]int, dIn, dOut []int, id int) []int {
+	// Backward: collect the prefix in reverse.
+	var rev []int
+	cur := id
+	for {
+		rev = append(rev, cur)
+		ps := preds[cur]
+		if len(ps) == 0 {
+			break
+		}
+		best := ps[0]
+		for _, p := range ps[1:] {
+			if dIn[p] > dIn[best] {
+				best = p
+			}
+		}
+		cur = best
+	}
+	path := make([]int, 0, len(rev)+dOut[id])
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	// Forward: extend by maximal remaining bound.
+	cur = id
+	for len(c.Lines[cur].Succs) > 0 {
+		best := -1
+		bestVal := -1
+		for _, s := range c.Lines[cur].Succs {
+			if v := m.LineDelay(c, s) + dOut[s]; v > bestVal {
+				bestVal = v
+				best = s
+			}
+		}
+		path = append(path, best)
+		cur = best
+	}
+	return path
+}

@@ -1,0 +1,129 @@
+package pathenum
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/delay"
+	"repro/internal/synth"
+)
+
+func TestLineCoverS27(t *testing.T) {
+	c := bench.S27()
+	fs := LineCover(c, nil)
+	if len(fs) == 0 {
+		t.Fatal("no paths selected")
+	}
+	// Validity: every selected path is a complete path; both
+	// directions present; lengths correct.
+	covered := make(map[int]bool)
+	for i := range fs {
+		f := &fs[i]
+		if err := c.ValidatePath(f.Path); err != nil {
+			t.Fatalf("invalid path: %v", err)
+		}
+		if !c.IsCompletePath(f.Path) {
+			t.Fatalf("incomplete path %s", c.PathString(f.Path))
+		}
+		if f.Length != len(f.Path) {
+			t.Errorf("unit length mismatch")
+		}
+		for _, l := range f.Path {
+			covered[l] = true
+		}
+	}
+	// Covering: every line of the circuit lies on a selected path.
+	for id := range c.Lines {
+		if !covered[id] {
+			t.Errorf("line %s not covered", c.Lines[id].Name)
+		}
+	}
+	// Selected count is at most one path (two faults) per line.
+	if len(fs) > 2*len(c.Lines) {
+		t.Errorf("too many faults: %d for %d lines", len(fs), len(c.Lines))
+	}
+}
+
+func TestLineCoverLongestThroughLine(t *testing.T) {
+	// For every line, the selected path through it must be a longest
+	// path through that line, cross-checked against exhaustive
+	// enumeration on s27.
+	c := bench.S27()
+	full, err := Enumerate(c, Config{Mode: DistancePruned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// longestThrough[l] = max length over all complete paths through l.
+	longestThrough := make([]int, len(c.Lines))
+	for i := range full.Faults {
+		f := &full.Faults[i]
+		for _, l := range f.Path {
+			if f.Length > longestThrough[l] {
+				longestThrough[l] = f.Length
+			}
+		}
+	}
+	fs := LineCover(c, nil)
+	// Build per-line best selected length.
+	bestSelected := make([]int, len(c.Lines))
+	for i := range fs {
+		for _, l := range fs[i].Path {
+			if fs[i].Length > bestSelected[l] {
+				bestSelected[l] = fs[i].Length
+			}
+		}
+	}
+	for id := range c.Lines {
+		if bestSelected[id] != longestThrough[id] {
+			t.Errorf("line %s: selected best %d, true longest through %d",
+				c.Lines[id].Name, bestSelected[id], longestThrough[id])
+		}
+	}
+}
+
+func TestLineCoverSortedAndDeduped(t *testing.T) {
+	c := synth.MustGenerate(synth.BenchmarkProfiles["b03"])
+	fs := LineCover(c, delay.Unit{})
+	seen := make(map[string]bool)
+	for i := range fs {
+		k := fs[i].Key()
+		if seen[k] {
+			t.Fatal("duplicate fault in selection")
+		}
+		seen[k] = true
+		if i > 0 && fs[i].Length > fs[i-1].Length {
+			t.Fatal("not sorted by decreasing length")
+		}
+	}
+	// Selection is far smaller than full enumeration on a real-size
+	// circuit but still covers every line.
+	covered := make(map[int]bool)
+	for i := range fs {
+		for _, l := range fs[i].Path {
+			covered[l] = true
+		}
+	}
+	if len(covered) != len(c.Lines) {
+		t.Errorf("covered %d of %d lines", len(covered), len(c.Lines))
+	}
+}
+
+func TestLineCoverWeightedModel(t *testing.T) {
+	// Under a weighted model the cover must still be valid and the
+	// reported lengths must match the model.
+	c := bench.S27()
+	m := delay.PerGateType{
+		Weights: map[circuit.GateType]int{circuit.Nand: 3, circuit.Nor: 2},
+		Wire:    1,
+	}
+	fs := LineCover(c, m)
+	for i := range fs {
+		if err := c.ValidatePath(fs[i].Path); err != nil {
+			t.Fatal(err)
+		}
+		if got := delay.PathLength(c, m, fs[i].Path); got != fs[i].Length {
+			t.Errorf("length %d, model says %d", fs[i].Length, got)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package pathenum
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/delay"
+	"repro/internal/faults"
+	"repro/internal/synth"
+)
+
+func TestDistancesS27(t *testing.T) {
+	c := bench.S27()
+	d := Distances(c, delay.Unit{})
+	// Every PO end has distance 0.
+	for _, po := range c.POs {
+		if d[po] != 0 {
+			t.Errorf("PO end %s: distance = %d, want 0", c.Lines[po].Name, d[po])
+		}
+	}
+	// The longest path of s27 has 10 lines; the distance of its source
+	// PI is therefore 9 (lines after the source).
+	maxD := 0
+	for _, pi := range c.PIs {
+		if d[pi] > maxD {
+			maxD = d[pi]
+		}
+	}
+	if maxD != 9 {
+		t.Errorf("max PI distance = %d, want 9", maxD)
+	}
+}
+
+func TestDistanceBoundIsExact(t *testing.T) {
+	// Property from the paper's Figure 2: len(p) = length(p) + d(last)
+	// is exactly the maximum length of any complete extension of p.
+	c := synth.MustGenerate(synth.Profile{
+		Name: "dtest", Seed: 5, PIs: 8, Gates: 60, Levels: 10, MaxFanin: 3,
+	})
+	d := Distances(c, delay.Unit{})
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		// Random partial path from a random PI.
+		cur := c.PIs[r.Intn(len(c.PIs))]
+		path := []int{cur}
+		for len(c.Lines[cur].Succs) > 0 && r.Intn(4) != 0 {
+			cur = c.Lines[cur].Succs[r.Intn(len(c.Lines[cur].Succs))]
+			path = append(path, cur)
+		}
+		bound := len(path) + d[cur]
+		best := longestCompletion(c, cur) + len(path)
+		if c.Lines[cur].IsPOEnd {
+			best = len(path)
+		}
+		if bound != best {
+			t.Fatalf("path %s: bound %d, exact longest completion %d",
+				c.PathString(path), bound, best)
+		}
+	}
+}
+
+// longestCompletion returns the maximum number of lines appendable
+// after line id (0 when id is terminal).
+func longestCompletion(c *circuit.Circuit, id int) int {
+	best := 0
+	for _, s := range c.Lines[id].Succs {
+		if v := 1 + longestCompletion(c, s); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestS27ModerateTable1(t *testing.T) {
+	// The paper's Table 1 walk-through: with a budget of 20 paths
+	// (40 faults), moderate enumeration of s27 ends with 18 paths of
+	// lengths between 7 and 10. The exact end state depends on the
+	// authors' fanout-branch ordering, which the paper does not fully
+	// specify; this test checks the invariants of the walk-through:
+	// the budget forces evictions of the shortest complete paths (the
+	// length-2 path (3,15) = (G2,G13) is the first victim), the final
+	// set stays below 20 paths, and all 8 longest paths (length 10)
+	// survive.
+	c := bench.S27()
+	res, err := Enumerate(c, Config{MaxFaults: 40, Mode: Moderate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := len(res.Faults) / 2
+	if paths >= 20 || paths < 16 {
+		t.Errorf("final path count = %d, want close to the paper's 18 and under the budget of 20", paths)
+	}
+	if res.Stats.BudgetHits == 0 {
+		t.Error("budget must have been hit during enumeration")
+	}
+	if res.Stats.EvictedComplete == 0 {
+		t.Error("short complete paths must have been evicted")
+	}
+	longest := 0
+	for i := range res.Faults {
+		f := &res.Faults[i]
+		if f.Length == 10 {
+			longest++
+		}
+		// The length-2 path (G2,G13) must have been evicted.
+		if len(f.Path) == 2 {
+			t.Errorf("shortest complete path %s survived", c.PathString(f.Path))
+		}
+	}
+	// s27 has 4 complete paths of length 10 → 8 faults.
+	if longest != 8 {
+		t.Errorf("longest-path faults kept = %d, want 8", longest)
+	}
+}
+
+func TestS27UnboundedCounts(t *testing.T) {
+	c := bench.S27()
+	mod, err := Enumerate(c, Config{Mode: Moderate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := Enumerate(c, Config{Mode: DistancePruned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Faults) != len(dp.Faults) {
+		t.Fatalf("unbounded variants disagree: moderate %d faults, distance %d",
+			len(mod.Faults), len(dp.Faults))
+	}
+	// Same fault sets.
+	keys := make(map[string]bool)
+	for i := range mod.Faults {
+		keys[mod.Faults[i].Key()] = true
+	}
+	for i := range dp.Faults {
+		if !keys[dp.Faults[i].Key()] {
+			t.Errorf("distance variant found %s not in moderate set",
+				dp.Faults[i].Format(c))
+		}
+	}
+	// Every complete path appears with both directions, and all paths
+	// are valid complete paths.
+	for i := range mod.Faults {
+		f := &mod.Faults[i]
+		if err := c.ValidatePath(f.Path); err != nil {
+			t.Errorf("invalid path: %v", err)
+		}
+		if !c.IsCompletePath(f.Path) {
+			t.Errorf("incomplete path in result: %s", c.PathString(f.Path))
+		}
+		if f.Length != len(f.Path) {
+			t.Errorf("unit length mismatch: %d vs %d lines", f.Length, len(f.Path))
+		}
+	}
+}
+
+func TestDistancePrunedKeepsLongest(t *testing.T) {
+	// Under any budget, the faults of the longest paths must survive.
+	c := bench.S27()
+	full, err := Enumerate(c, Config{Mode: DistancePruned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLen := full.Faults[0].Length
+	var longest []string
+	for i := range full.Faults {
+		if full.Faults[i].Length == maxLen {
+			longest = append(longest, full.Faults[i].Key())
+		}
+	}
+	for _, budget := range []int{40, 20, 12, len(longest)} {
+		res, err := Enumerate(c, Config{MaxFaults: budget, Mode: DistancePruned})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[string]bool)
+		for i := range res.Faults {
+			got[res.Faults[i].Key()] = true
+		}
+		for _, k := range longest {
+			if !got[k] {
+				t.Errorf("budget %d: longest-path fault %s evicted", budget, k)
+			}
+		}
+	}
+}
+
+func TestDistancePrunedBudgetRespected(t *testing.T) {
+	c := synth.MustGenerate(synth.BenchmarkProfiles["b09"])
+	res, err := Enumerate(c, Config{MaxFaults: 400, Mode: DistancePruned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Faults) == 0 {
+		t.Fatal("no faults enumerated")
+	}
+	// The kept complete faults can be slightly below the budget (the
+	// final partials evaporate) but must not wildly exceed it; they may
+	// exceed only when all bounds are equal, which is not the case in a
+	// random circuit.
+	if len(res.Faults) >= 400+40 {
+		t.Errorf("kept %d faults for budget 400", len(res.Faults))
+	}
+	// Result sorted by decreasing length.
+	for i := 1; i < len(res.Faults); i++ {
+		if res.Faults[i].Length > res.Faults[i-1].Length {
+			t.Fatal("result not sorted by decreasing length")
+		}
+	}
+	// And the longest kept must equal the true longest (depth).
+	if st := c.Stats(); res.Faults[0].Length != st.Depth {
+		t.Errorf("longest kept %d != circuit depth %d", res.Faults[0].Length, st.Depth)
+	}
+}
+
+func TestDistancePrunedMatchesTruncatedFullSet(t *testing.T) {
+	// On a circuit small enough to enumerate completely, the budgeted
+	// run must return a superset of the top-K faults by length (it can
+	// keep a few more when a length class straddles the cut).
+	c := synth.MustGenerate(synth.Profile{
+		Name: "cmp", Seed: 11, PIs: 6, Gates: 40, Levels: 8, MaxFanin: 3,
+	})
+	full, err := Enumerate(c, Config{Mode: DistancePruned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Faults) < 60 {
+		t.Skipf("circuit too small: %d faults", len(full.Faults))
+	}
+	budget := 50
+	res, err := Enumerate(c, Config{MaxFaults: budget, Mode: DistancePruned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := make(map[string]bool)
+	for i := range res.Faults {
+		kept[res.Faults[i].Key()] = true
+	}
+	// Every fault strictly longer than the shortest kept length must
+	// be kept.
+	minKept := res.Faults[len(res.Faults)-1].Length
+	for i := range full.Faults {
+		if full.Faults[i].Length > minKept && !kept[full.Faults[i].Key()] {
+			t.Errorf("fault %s (len %d) missing despite kept min length %d",
+				full.Faults[i].Key(), full.Faults[i].Length, minKept)
+		}
+	}
+}
+
+func TestModerateExtensionCap(t *testing.T) {
+	c := synth.MustGenerate(synth.BenchmarkProfiles["s1196"])
+	_, err := Enumerate(c, Config{MaxFaults: 100, Mode: Moderate, MaxExtensions: 50})
+	if err == nil {
+		t.Error("expected extension-cap error for path-rich circuit in moderate mode")
+	}
+}
+
+func TestWeightedDelayModel(t *testing.T) {
+	c := bench.S27()
+	m := delay.PerGateType{
+		Weights: map[circuit.GateType]int{circuit.Not: 0},
+		Wire:    1,
+	}
+	res, err := Enumerate(c, Config{Mode: DistancePruned, Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := Enumerate(c, Config{Mode: DistancePruned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Faults) != len(unit.Faults) {
+		t.Fatalf("delay model changed fault count: %d vs %d", len(res.Faults), len(unit.Faults))
+	}
+	// Lengths must differ from unit lengths on paths through NOT gates.
+	changed := false
+	for i := range res.Faults {
+		if res.Faults[i].Length != len(res.Faults[i].Path) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("weighted model produced only unit lengths")
+	}
+}
+
+func TestProfileAndPartition(t *testing.T) {
+	c := bench.S27()
+	res, err := Enumerate(c, Config{Mode: DistancePruned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := faults.Profile(res.Faults)
+	if prof[0].L != 10 {
+		t.Errorf("longest length = %d, want 10", prof[0].L)
+	}
+	total := 0
+	for _, row := range prof {
+		total += row.Count
+	}
+	if total != len(res.Faults) {
+		t.Errorf("profile counts sum to %d, want %d", total, len(res.Faults))
+	}
+	if prof[len(prof)-1].Cumulative != len(res.Faults) {
+		t.Error("last cumulative must equal total")
+	}
+	p0, p1, i0 := faults.Partition(res.Faults, 6)
+	if len(p0) < 6 {
+		t.Errorf("P0 has %d faults, want ≥ 6", len(p0))
+	}
+	if len(p0)+len(p1) != len(res.Faults) {
+		t.Error("partition loses faults")
+	}
+	if i0 > 0 && prof[i0-1].Cumulative >= 6 {
+		t.Error("i0 not minimal")
+	}
+	// All P0 lengths ≥ all P1 lengths.
+	if len(p1) > 0 {
+		minP0 := p0[len(p0)-1].Length
+		for i := range p1 {
+			if p1[i].Length >= minP0 {
+				t.Errorf("P1 fault length %d ≥ min P0 length %d", p1[i].Length, minP0)
+			}
+		}
+	}
+}

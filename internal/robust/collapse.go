@@ -1,0 +1,83 @@
+package robust
+
+import "repro/internal/tval"
+
+// Subsumes reports whether cube a implies cube b: every requirement of
+// b is already required (position-wise) by a. A test covering a then
+// covers b.
+func Subsumes(a, b *Cube) bool {
+	i := 0
+	for j := 0; j < len(b.Nets); j++ {
+		for i < len(a.Nets) && a.Nets[i] < b.Nets[j] {
+			i++
+		}
+		av := tval.TX
+		if i < len(a.Nets) && a.Nets[i] == b.Nets[j] {
+			av = a.Vals[i]
+		}
+		bv := b.Vals[j]
+		for p := 0; p < 3; p++ {
+			if w := bv.At(p); w != tval.X && av.At(p) != w {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Collapse partitions a screened fault list into representative faults
+// and subsumed ones: fault q is subsumed by fault p when every
+// alternative of p subsumes some alternative of q, so any test
+// detecting p necessarily detects q. Targeting only the
+// representatives yields the same coverage as targeting everything —
+// the path delay fault analogue of fault collapsing.
+//
+// It returns the indices of representative faults (in input order) and
+// a map from each subsumed fault index to its representative.
+func Collapse(fcs []FaultConditions) (representatives []int, subsumedBy map[int]int) {
+	subsumedBy = make(map[int]int)
+	// Quadratic scan; fault lists at ATPG scale are a few thousand and
+	// the inner check fails fast on the first unmatched requirement.
+	for q := range fcs {
+		for p := range fcs {
+			if p == q {
+				continue
+			}
+			if _, taken := subsumedBy[p]; taken {
+				continue
+			}
+			if faultSubsumes(&fcs[p], &fcs[q]) {
+				// Break mutual-subsumption ties by index so exactly
+				// one of a pair survives.
+				if p < q || !faultSubsumes(&fcs[q], &fcs[p]) {
+					subsumedBy[q] = p
+					break
+				}
+			}
+		}
+	}
+	for i := range fcs {
+		if _, s := subsumedBy[i]; !s {
+			representatives = append(representatives, i)
+		}
+	}
+	return representatives, subsumedBy
+}
+
+// faultSubsumes reports whether detecting p guarantees detecting q:
+// every alternative of p subsumes at least one alternative of q.
+func faultSubsumes(p, q *FaultConditions) bool {
+	for i := range p.Alts {
+		ok := false
+		for j := range q.Alts {
+			if Subsumes(&p.Alts[i], &q.Alts[j]) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,111 @@
+package robust
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/pathenum"
+	"repro/internal/tval"
+)
+
+func TestSubsumes(t *testing.T) {
+	var a, b Cube
+	a.add(1, tval.R)
+	a.add(2, tval.S0)
+	b.add(1, tval.R)
+	if !Subsumes(&a, &b) {
+		t.Error("superset must subsume subset")
+	}
+	if Subsumes(&b, &a) {
+		t.Error("subset must not subsume superset")
+	}
+	// Position-wise: 000 subsumes xx0 on the same net.
+	var c1, c2 Cube
+	c1.add(5, tval.S0)
+	c2.add(5, tval.FinalZero)
+	if !Subsumes(&c1, &c2) {
+		t.Error("000 must subsume xx0")
+	}
+	if Subsumes(&c2, &c1) {
+		t.Error("xx0 must not subsume 000")
+	}
+	// Empty cube is subsumed by everything.
+	var empty Cube
+	if !Subsumes(&a, &empty) {
+		t.Error("anything must subsume the empty cube")
+	}
+	if Subsumes(&empty, &a) {
+		t.Error("empty cube must not subsume a constrained one")
+	}
+}
+
+func TestCollapseOnS27(t *testing.T) {
+	c := bench.S27()
+	res, err := pathenum.Enumerate(c, pathenum.Config{Mode: pathenum.DistancePruned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, _ := Screen(c, res.Faults)
+	reps, subsumedBy := Collapse(kept)
+	if len(reps)+len(subsumedBy) != len(kept) {
+		t.Fatalf("collapse loses faults: %d + %d != %d",
+			len(reps), len(subsumedBy), len(kept))
+	}
+	// Soundness: for every subsumed fault, every alternative of its
+	// representative implies one of its alternatives — and therefore
+	// any simulated test covering the representative covers it.
+	for q, p := range subsumedBy {
+		if !faultSubsumes(&kept[p], &kept[q]) {
+			t.Fatalf("recorded subsumption does not hold: %d by %d", q, p)
+		}
+		if _, also := subsumedBy[p]; also {
+			t.Fatalf("representative %d is itself subsumed", p)
+		}
+	}
+	t.Logf("s27: %d faults collapse to %d representatives (%d subsumed)",
+		len(kept), len(reps), len(subsumedBy))
+	if len(subsumedBy) == 0 {
+		t.Log("note: no subsumption found on s27")
+	}
+}
+
+func TestCollapseCoveragePreserved(t *testing.T) {
+	// Brute-force check on s27: every fully specified test that
+	// detects a representative also detects all faults it subsumes.
+	c := bench.S27()
+	res, err := pathenum.Enumerate(c, pathenum.Config{Mode: pathenum.DistancePruned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, _ := Screen(c, res.Faults)
+	_, subsumedBy := Collapse(kept)
+	if len(subsumedBy) == 0 {
+		t.Skip("no subsumption on s27")
+	}
+	enumerateAllTests(len(c.PIs), func(tp circuit.TwoPattern) {
+		sim := tp.Simulate(c)
+		for q, p := range subsumedBy {
+			pDet := false
+			for i := range kept[p].Alts {
+				if kept[p].Alts[i].CoveredBy(sim) {
+					pDet = true
+					break
+				}
+			}
+			if !pDet {
+				continue
+			}
+			qDet := false
+			for i := range kept[q].Alts {
+				if kept[q].Alts[i].CoveredBy(sim) {
+					qDet = true
+					break
+				}
+			}
+			if !qDet {
+				t.Fatalf("test %v detects representative %d but not subsumed %d", tp, p, q)
+			}
+		}
+	})
+}

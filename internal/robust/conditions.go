@@ -1,0 +1,152 @@
+package robust
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/faults"
+	"repro/internal/tval"
+)
+
+// MaxAlternatives bounds the number of A(p) alternatives generated for
+// paths through XOR/XNOR gates (each such gate doubles the choices for
+// its stable side inputs). Faults exceeding the bound are treated as
+// out of scope and reported undetectable.
+const MaxAlternatives = 16
+
+// Conditions computes A(p), the set of values a two-pattern test must
+// assign to robustly detect fault f:
+//
+//   - the path source carries the fault's transition (0x1 or 1x0);
+//   - at every on-path gate whose on-path input transitions *toward*
+//     the controlling value, the off-path inputs carry the stable,
+//     hazard-free non-controlling value (e.g. 000 for OR);
+//   - at every on-path gate whose on-path input transitions *away from*
+//     the controlling value, the off-path inputs carry the
+//     non-controlling value under the second pattern (e.g. xx0 for OR);
+//   - off-path inputs of on-path XOR/XNOR gates carry either stable
+//     value, giving alternative condition sets.
+//
+// The result is a list of alternative cubes: a test detecting the
+// fault must satisfy at least one alternative in full. An empty result
+// means the fault is undetectable because its conditions conflict
+// directly (the first kind of undetectable fault eliminated in Section
+// 3.1).
+func Conditions(c *circuit.Circuit, f *faults.Fault) []Cube {
+	src := tval.R
+	if f.Dir == faults.SlowToFall {
+		src = tval.F
+	}
+	first := altResult{tr: src}
+	if !first.cube.add(c.Lines[f.Path[0]].Net, src) {
+		return nil
+	}
+	alts := []altResult{first}
+
+	for i := 1; i < len(f.Path); i++ {
+		onPath := f.Path[i-1]
+		lineID := f.Path[i]
+		ln := &c.Lines[lineID]
+		if ln.Kind == circuit.LineBranch {
+			// Stem to branch: same signal, same transition.
+			continue
+		}
+		g := &c.Gates[ln.Gate]
+		var next []altResult
+		for _, a := range alts {
+			next = append(next, stepGate(c, g, onPath, a.cube, a.tr)...)
+			if len(next) > MaxAlternatives {
+				next = next[:MaxAlternatives]
+				break
+			}
+		}
+		alts = next
+		if len(alts) == 0 {
+			return nil
+		}
+	}
+	out := make([]Cube, len(alts))
+	for i := range alts {
+		out[i] = alts[i].cube
+	}
+	return out
+}
+
+// stepGate extends one alternative through gate g with the on-path
+// input line onPath carrying transition tr. It returns zero or more
+// extended alternatives (zero when the side requirements conflict with
+// the cube).
+func stepGate(c *circuit.Circuit, g *circuit.Gate, onPath int, cube Cube, tr tval.Triple) []altResult {
+	switch g.Type {
+	case circuit.Not:
+		return []altResult{{cube: cube, tr: tr.Not()}}
+	case circuit.Buf:
+		return []altResult{{cube: cube, tr: tr}}
+	case circuit.And, circuit.Nand, circuit.Or, circuit.Nor:
+		ctrl, _ := g.Type.Controlling()
+		nc := ctrl.Not()
+		var side tval.Triple
+		if tr.P3() == ctrl {
+			// Transition toward the controlling value: off-path inputs
+			// must be stable, hazard-free non-controlling.
+			side = tval.NewTriple(nc, nc, nc)
+		} else {
+			// Transition away from the controlling value: off-path
+			// inputs need the non-controlling value only under the
+			// second pattern.
+			side = tval.NewTriple(tval.X, tval.X, nc)
+		}
+		q := cube
+		for _, in := range g.In {
+			if in == onPath {
+				continue
+			}
+			if !q.add(c.Lines[in].Net, side) {
+				return nil
+			}
+		}
+		out := tr
+		if g.Type.Inverting() {
+			out = tr.Not()
+		}
+		return []altResult{{cube: q, tr: out}}
+	case circuit.Xor, circuit.Xnor:
+		// Every off-path input must hold a stable, hazard-free value;
+		// each choice flips or preserves the transition.
+		results := []altResult{{cube: cube, tr: tr}}
+		for _, in := range g.In {
+			if in == onPath {
+				continue
+			}
+			net := c.Lines[in].Net
+			var expanded []altResult
+			for _, r := range results {
+				for _, sv := range []tval.Triple{tval.S0, tval.S1} {
+					q := r.cube.Clone()
+					if !q.add(net, sv) {
+						continue
+					}
+					nt := r.tr
+					if sv == tval.S1 {
+						nt = nt.Not()
+					}
+					expanded = append(expanded, altResult{cube: q, tr: nt})
+				}
+			}
+			results = expanded
+			if len(results) == 0 {
+				return nil
+			}
+		}
+		if g.Type == circuit.Xnor {
+			for i := range results {
+				results[i].tr = results[i].tr.Not()
+			}
+		}
+		return results
+	}
+	return nil
+}
+
+type altResult struct {
+	cube Cube
+	tr   tval.Triple
+}

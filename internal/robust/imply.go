@@ -1,0 +1,290 @@
+package robust
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/tval"
+)
+
+// Implier propagates requirement cubes through a circuit, forward and
+// backward, on all three planes of a two-pattern test. It detects the
+// second kind of undetectable fault of Section 3.1: faults whose A(p)
+// implies conflicting values on some line.
+//
+// The implementation is a fixpoint over per-gate rules:
+//
+//	forward:  the output merges the gate function of the inputs;
+//	backward: a non-controlled output value forces all inputs
+//	          non-controlling; a controlled output with exactly one
+//	          undetermined input forces that input controlling; XOR
+//	          outputs with one undetermined input force its parity;
+//	          NOT/BUF force their input directly.
+type Implier struct {
+	c         *circuit.Circuit
+	val       [circuit.NumPlanes][]tval.V
+	inQ       []bool
+	q         []int
+	gateOfNet []int // net -> driving gate, -1 for PI
+	fanout    [][]int
+
+	// touched records (plane, net) assignments of the current run so
+	// the next run clears only those instead of every line — Imply is
+	// the hot path of justification seeding.
+	touched []int32
+}
+
+// NewImplier creates an implier for the circuit.
+func NewImplier(c *circuit.Circuit) *Implier {
+	im := &Implier{c: c}
+	for p := range im.val {
+		im.val[p] = make([]tval.V, len(c.Lines))
+		for i := range im.val[p] {
+			im.val[p][i] = tval.X
+		}
+	}
+	im.inQ = make([]bool, len(c.Gates))
+	im.gateOfNet = make([]int, len(c.Lines))
+	im.fanout = make([][]int, len(c.Lines))
+	for i := range c.Lines {
+		im.gateOfNet[i] = c.Lines[i].Gate
+	}
+	for gi := range c.Gates {
+		for _, in := range c.Gates[gi].In {
+			net := c.Lines[in].Net
+			im.fanout[net] = append(im.fanout[net], gi)
+		}
+	}
+	return im
+}
+
+// Imply runs the fixpoint from the cube's requirements. It returns the
+// implied value of every line (as triples, indexed by line ID) and
+// whether the cube is consistent; ok == false means a conflict was
+// derived, i.e. any fault requiring this cube is undetectable.
+func (im *Implier) Imply(cube *Cube) (vals []tval.Triple, ok bool) {
+	if !im.implyCore(cube) {
+		return nil, false
+	}
+	c := im.c
+	vals = make([]tval.Triple, len(c.Lines))
+	for id := range c.Lines {
+		net := c.Lines[id].Net
+		vals[id] = tval.NewTriple(im.val[0][net], im.val[1][net], im.val[2][net])
+	}
+	return vals, true
+}
+
+// implyCore runs the fixpoint; it returns false on conflict.
+func (im *Implier) implyCore(cube *Cube) bool {
+	// Clear only what the previous run assigned.
+	for _, t := range im.touched {
+		plane := int(t) % circuit.NumPlanes
+		net := int(t) / circuit.NumPlanes
+		im.val[plane][net] = tval.X
+	}
+	im.touched = im.touched[:0]
+	// The queue fully drains on success; on a conflict the previous
+	// run left entries flagged.
+	for _, gi := range im.q {
+		im.inQ[gi] = false
+	}
+	im.q = im.q[:0]
+	conflict := false
+
+	enqueueNet := func(net int) {
+		if g := im.gateOfNet[net]; g >= 0 && !im.inQ[g] {
+			im.inQ[g] = true
+			im.q = append(im.q, g)
+		}
+		for _, g := range im.fanout[net] {
+			if !im.inQ[g] {
+				im.inQ[g] = true
+				im.q = append(im.q, g)
+			}
+		}
+	}
+	var assign func(net, plane int, v tval.V)
+	assign = func(net, plane int, v tval.V) {
+		if v == tval.X || conflict {
+			return
+		}
+		cur := im.val[plane][net]
+		if cur == v {
+			return
+		}
+		if cur != tval.X {
+			conflict = true
+			return
+		}
+		im.val[plane][net] = v
+		im.touched = append(im.touched, int32(net*circuit.NumPlanes+plane))
+		enqueueNet(net)
+		// Primary inputs change at most once between the two patterns,
+		// so a specified intermediate value forces both pattern values,
+		// and equal specified pattern values force the intermediate.
+		// Internal nets may glitch; the rule applies to PIs only.
+		if im.gateOfNet[net] < 0 {
+			switch plane {
+			case 1:
+				assign(net, 0, v)
+				assign(net, 2, v)
+			default:
+				other := 2 - plane
+				if ov := im.val[other][net]; ov == v {
+					assign(net, 1, v)
+				}
+			}
+		}
+	}
+
+	for i, net := range cube.Nets {
+		for p := 0; p < circuit.NumPlanes; p++ {
+			assign(net, p, cube.Vals[i].At(p))
+		}
+	}
+
+	for len(im.q) > 0 && !conflict {
+		gi := im.q[len(im.q)-1]
+		im.q = im.q[:len(im.q)-1]
+		im.inQ[gi] = false
+		im.implyGate(gi, assign)
+	}
+	return !conflict
+}
+
+// ImplyConsistent runs the same fixpoint but skips materializing the
+// per-line triples; implied values are read back with Value. This is
+// the hot-path entry used by the justifiers to seed their search.
+func (im *Implier) ImplyConsistent(cube *Cube) bool {
+	return im.implyCore(cube)
+}
+
+// Value returns the value implied for a line on a plane by the most
+// recent Imply/ImplyConsistent call.
+func (im *Implier) Value(line, plane int) tval.V {
+	return im.val[plane][im.c.Lines[line].Net]
+}
+
+func (im *Implier) implyGate(gi int, assign func(net, plane int, v tval.V)) {
+	g := &im.c.Gates[gi]
+	for p := 0; p < circuit.NumPlanes; p++ {
+		im.implyGatePlane(g, p, assign)
+	}
+}
+
+func (im *Implier) implyGatePlane(g *circuit.Gate, plane int, assign func(net, plane int, v tval.V)) {
+	vals := im.val[plane]
+	c := im.c
+	inNet := func(k int) int { return c.Lines[g.In[k]].Net }
+
+	// Forward implication.
+	switch g.Type {
+	case circuit.Not:
+		assign(g.Out, plane, vals[inNet(0)].Not())
+	case circuit.Buf:
+		assign(g.Out, plane, vals[inNet(0)])
+	default:
+		fwd := im.evalForward(g, plane)
+		assign(g.Out, plane, fwd)
+	}
+
+	out := vals[g.Out]
+	if out == tval.X {
+		return
+	}
+
+	// Backward implication.
+	switch g.Type {
+	case circuit.Not:
+		assign(inNet(0), plane, out.Not())
+	case circuit.Buf:
+		assign(inNet(0), plane, out)
+	case circuit.And, circuit.Nand, circuit.Or, circuit.Nor:
+		core := out
+		if g.Type.Inverting() {
+			core = out.Not()
+		}
+		ctrl, _ := g.Type.Controlling()
+		nc := ctrl.Not()
+		if core == nc {
+			// Non-controlled output: every input non-controlling.
+			for k := range g.In {
+				assign(inNet(k), plane, nc)
+			}
+		} else {
+			// Controlled output: if exactly one input is not known
+			// non-controlling, it must be controlling.
+			unknown := -1
+			count := 0
+			for k := range g.In {
+				switch vals[inNet(k)] {
+				case nc:
+					continue
+				case ctrl:
+					return // already justified
+				default:
+					unknown = k
+					count++
+				}
+			}
+			if count == 1 {
+				assign(inNet(unknown), plane, ctrl)
+			}
+			// count == 0 means all inputs are non-controlling while the
+			// output is controlled: the forward pass will flag the
+			// conflict.
+		}
+	case circuit.Xor, circuit.Xnor:
+		target := out
+		if g.Type == circuit.Xnor {
+			target = out.Not()
+		}
+		parity := tval.Zero
+		unknown := -1
+		count := 0
+		for k := range g.In {
+			v := vals[inNet(k)]
+			if v == tval.X {
+				unknown = k
+				count++
+				continue
+			}
+			parity = tval.Xor(parity, v)
+		}
+		if count == 1 {
+			assign(inNet(unknown), plane, tval.Xor(parity, target))
+		}
+	}
+}
+
+func (im *Implier) evalForward(g *circuit.Gate, plane int) tval.V {
+	vals := im.val[plane]
+	c := im.c
+	var v tval.V
+	switch g.Type {
+	case circuit.And, circuit.Nand:
+		v = tval.One
+		for _, in := range g.In {
+			v = tval.And(v, vals[c.Lines[in].Net])
+		}
+		if g.Type == circuit.Nand {
+			v = v.Not()
+		}
+	case circuit.Or, circuit.Nor:
+		v = tval.Zero
+		for _, in := range g.In {
+			v = tval.Or(v, vals[c.Lines[in].Net])
+		}
+		if g.Type == circuit.Nor {
+			v = v.Not()
+		}
+	case circuit.Xor, circuit.Xnor:
+		v = tval.Zero
+		for _, in := range g.In {
+			v = tval.Xor(v, vals[c.Lines[in].Net])
+		}
+		if g.Type == circuit.Xnor {
+			v = v.Not()
+		}
+	}
+	return v
+}

@@ -1,0 +1,124 @@
+package robust
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/faults"
+	"repro/internal/tval"
+)
+
+// NonRobustConditions computes the necessary assignments for
+// *non-robust* detection of a path delay fault. The paper restricts
+// itself to robust tests; non-robust tests are the natural extension
+// supported by the same machinery (the whole downstream flow —
+// justification, compaction, enrichment — is condition-set agnostic).
+//
+// A non-robust test only requires every off-path input to present the
+// non-controlling value under the second pattern (xx,nc); the test is
+// invalidated if other paths are also slow, which is exactly the
+// guarantee robust tests add by demanding hazard-free stable side
+// inputs on transitions toward the controlling value. XOR/XNOR side
+// inputs still need a stable final value to define the propagated
+// transition's polarity; we require the value only under the second
+// pattern and enumerate both polarities as alternatives.
+//
+// Every robust test is also a non-robust test: the robust cube of a
+// fault covers (is a superset of) one of its non-robust cubes, which
+// TestNonRobustSubsumption verifies.
+func NonRobustConditions(c *circuit.Circuit, f *faults.Fault) []Cube {
+	src := tval.R
+	if f.Dir == faults.SlowToFall {
+		src = tval.F
+	}
+	first := altResult{tr: src}
+	if !first.cube.add(c.Lines[f.Path[0]].Net, src) {
+		return nil
+	}
+	alts := []altResult{first}
+
+	for i := 1; i < len(f.Path); i++ {
+		onPath := f.Path[i-1]
+		lineID := f.Path[i]
+		ln := &c.Lines[lineID]
+		if ln.Kind == circuit.LineBranch {
+			continue
+		}
+		g := &c.Gates[ln.Gate]
+		var next []altResult
+		for _, a := range alts {
+			next = append(next, stepGateNonRobust(c, g, onPath, a.cube, a.tr)...)
+			if len(next) > MaxAlternatives {
+				next = next[:MaxAlternatives]
+				break
+			}
+		}
+		alts = next
+		if len(alts) == 0 {
+			return nil
+		}
+	}
+	out := make([]Cube, len(alts))
+	for i := range alts {
+		out[i] = alts[i].cube
+	}
+	return out
+}
+
+func stepGateNonRobust(c *circuit.Circuit, g *circuit.Gate, onPath int, cube Cube, tr tval.Triple) []altResult {
+	switch g.Type {
+	case circuit.Not:
+		return []altResult{{cube: cube, tr: tr.Not()}}
+	case circuit.Buf:
+		return []altResult{{cube: cube, tr: tr}}
+	case circuit.And, circuit.Nand, circuit.Or, circuit.Nor:
+		ctrl, _ := g.Type.Controlling()
+		nc := ctrl.Not()
+		side := tval.NewTriple(tval.X, tval.X, nc)
+		q := cube
+		for _, in := range g.In {
+			if in == onPath {
+				continue
+			}
+			if !q.add(c.Lines[in].Net, side) {
+				return nil
+			}
+		}
+		out := tr
+		if g.Type.Inverting() {
+			out = tr.Not()
+		}
+		return []altResult{{cube: q, tr: out}}
+	case circuit.Xor, circuit.Xnor:
+		results := []altResult{{cube: cube, tr: tr}}
+		for _, in := range g.In {
+			if in == onPath {
+				continue
+			}
+			net := c.Lines[in].Net
+			var expanded []altResult
+			for _, r := range results {
+				for _, fv := range []tval.V{tval.Zero, tval.One} {
+					q := r.cube.Clone()
+					if !q.add(net, tval.TX.With(2, fv)) {
+						continue
+					}
+					nt := r.tr
+					if fv == tval.One {
+						nt = nt.Not()
+					}
+					expanded = append(expanded, altResult{cube: q, tr: nt})
+				}
+			}
+			results = expanded
+			if len(results) == 0 {
+				return nil
+			}
+		}
+		if g.Type == circuit.Xnor {
+			for i := range results {
+				results[i].tr = results[i].tr.Not()
+			}
+		}
+		return results
+	}
+	return nil
+}

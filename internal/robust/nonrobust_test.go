@@ -1,0 +1,235 @@
+package robust
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/faults"
+	"repro/internal/pathenum"
+	"repro/internal/tval"
+)
+
+func TestNonRobustPaperExamplePath(t *testing.T) {
+	// For the slow-to-rise fault on (G1, G12, G12->G13, G13), the
+	// robust conditions are {G1=0x1, G7=000, G2=xx0}; non-robustly the
+	// steady requirement on G7 relaxes to xx0.
+	c := bench.S27()
+	f := s27Path(t, c, faults.SlowToRise, "G1", "G12", "G12->G13", "G13")
+	alts := NonRobustConditions(c, &f)
+	if len(alts) != 1 {
+		t.Fatalf("alternatives = %d, want 1", len(alts))
+	}
+	q := alts[0]
+	for name, tw := range map[string]string{"G1": "0x1", "G7": "xx0", "G2": "xx0"} {
+		net := c.LineByName(name).ID
+		wantT, _ := tval.ParseTriple(tw)
+		if got := q.Get(net); got != wantT {
+			t.Errorf("requirement on %s = %v, want %s", name, got, tw)
+		}
+	}
+}
+
+func TestNonRobustSubsumption(t *testing.T) {
+	// Every robust cube must cover some non-robust cube: any test
+	// satisfying the robust conditions also satisfies the non-robust
+	// conditions (robust tests are a subset of non-robust tests).
+	c := bench.S27()
+	res, err := pathenum.Enumerate(c, pathenum.Config{Mode: pathenum.DistancePruned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Faults {
+		f := &res.Faults[i]
+		rAlts := Conditions(c, f)
+		nAlts := NonRobustConditions(c, f)
+		if len(rAlts) == 0 {
+			continue // robustly untestable; nothing to check
+		}
+		if len(nAlts) == 0 {
+			t.Errorf("%s: robustly testable but non-robust conditions conflict", f.Format(c))
+			continue
+		}
+		for _, rq := range rAlts {
+			subsumed := false
+			for _, nq := range nAlts {
+				if cubeImplies(&rq, &nq) {
+					subsumed = true
+					break
+				}
+			}
+			if !subsumed {
+				t.Errorf("%s: robust cube %s not covered by any non-robust cube",
+					f.Format(c), rq.Format(c))
+			}
+		}
+	}
+}
+
+// cubeImplies reports whether every requirement of weak is implied by
+// strong (strong's triple on each net must cover the positions weak
+// specifies).
+func cubeImplies(strong, weak *Cube) bool {
+	for i, net := range weak.Nets {
+		sv := strong.Get(net)
+		wv := weak.Vals[i]
+		for p := 0; p < 3; p++ {
+			if w := wv.At(p); w != tval.X && sv.At(p) != w {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestNonRobustDetectsMoreFaults(t *testing.T) {
+	// Some faults that are robustly untestable remain non-robustly
+	// testable: the falling path through AND(a,a) from the direct
+	// conflict test.
+	b := circuit.NewBuilder("nr")
+	a := b.AddInput("a")
+	y := b.AddGate(circuit.And, "y", a, a)
+	b.MarkOutput(y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := c.LineByName("a")
+	f := faults.Fault{
+		Path: []int{al.ID, al.Succs[0], c.LineByName("y").ID},
+		Dir:  faults.SlowToFall, Length: 3,
+	}
+	if alts := Conditions(c, &f); len(alts) != 0 {
+		t.Fatal("setup: fault must be robustly untestable")
+	}
+	if alts := NonRobustConditions(c, &f); len(alts) != 0 {
+		// a falls, side branch (same net) needs final 1: conflicts.
+		t.Fatal("AND(a,a) falling is also non-robustly untestable (side needs final 1)")
+	}
+	// A genuinely non-robust-only case: y = AND(a, NOT(a)). The
+	// slow-to-fall fault on the direct a→y pin needs the side input
+	// NOT(a) robustly steady at 1, which implies a steady 0 — but the
+	// source a must fall: robustly untestable, found by the
+	// implication check. Non-robustly the side needs only a final 1,
+	// i.e. a final 0, consistent with the falling source.
+	b2 := circuit.NewBuilder("nr2")
+	a2 := b2.AddInput("a")
+	n2 := b2.AddGate(circuit.Not, "n", a2)
+	y2 := b2.AddGate(circuit.And, "y", a2, n2)
+	b2.MarkOutput(y2)
+	c2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2l := c2.LineByName("a")
+	var pinBranch int = -1
+	for _, s := range a2l.Succs {
+		if c2.Lines[s].ConsumerGate >= 0 && c2.Gates[c2.Lines[s].ConsumerGate].Name == "y" {
+			pinBranch = s
+		}
+	}
+	if pinBranch < 0 {
+		t.Fatal("no branch from a to y")
+	}
+	f2 := faults.Fault{
+		Path: []int{a2l.ID, pinBranch, c2.LineByName("y").ID},
+		Dir:  faults.SlowToFall, Length: 3,
+	}
+	rAlts := Conditions(c2, &f2)
+	im := NewImplier(c2)
+	robustOK := false
+	for i := range rAlts {
+		if _, ok := im.Imply(&rAlts[i]); ok {
+			robustOK = true
+		}
+	}
+	if robustOK {
+		t.Error("AND(a, NOT(a)) falling pin fault must be robustly untestable")
+	}
+	nAlts := NonRobustConditions(c2, &f2)
+	nonRobustOK := false
+	for i := range nAlts {
+		if _, ok := im.Imply(&nAlts[i]); ok {
+			nonRobustOK = true
+		}
+	}
+	if !nonRobustOK {
+		t.Error("the same fault must remain non-robustly conditionable")
+	}
+}
+
+func TestNonRobustXorAndInverters(t *testing.T) {
+	// XOR side inputs only need a final value non-robustly; both
+	// polarities appear as alternatives.
+	b := circuit.NewBuilder("nrx")
+	a := b.AddInput("a")
+	s := b.AddInput("s")
+	x := b.AddGate(circuit.Xor, "x", a, s)
+	n := b.AddGate(circuit.Not, "n", x)
+	bf := b.AddGate(circuit.Buf, "o", n)
+	b.MarkOutput(bf)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := faults.Fault{
+		Path: []int{c.LineByName("a").ID, c.LineByName("x").ID,
+			c.LineByName("n").ID, c.LineByName("o").ID},
+		Dir: faults.SlowToRise, Length: 4,
+	}
+	alts := NonRobustConditions(c, &f)
+	if len(alts) != 2 {
+		t.Fatalf("alternatives = %d, want 2", len(alts))
+	}
+	sNet := c.LineByName("s").ID
+	seen := map[tval.Triple]bool{}
+	for _, q := range alts {
+		seen[q.Get(sNet)] = true
+		// Side requirement constrains only the final pattern.
+		if q.Get(sNet).P1() != tval.X || q.Get(sNet).Mid() != tval.X {
+			t.Errorf("non-robust XOR side over-constrained: %v", q.Get(sNet))
+		}
+	}
+	if !seen[tval.FinalZero] || !seen[tval.FinalOne] {
+		t.Errorf("expected xx0 and xx1 side alternatives, got %v", seen)
+	}
+	// An XNOR variant flips the final transition but not the cube
+	// structure.
+	b2 := circuit.NewBuilder("nrx2")
+	a2 := b2.AddInput("a")
+	s2 := b2.AddInput("s")
+	x2 := b2.AddGate(circuit.Xnor, "x", a2, s2)
+	b2.MarkOutput(x2)
+	c2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := faults.Fault{
+		Path: []int{c2.LineByName("a").ID, c2.LineByName("x").ID},
+		Dir:  faults.SlowToFall, Length: 2,
+	}
+	if alts := NonRobustConditions(c2, &f2); len(alts) != 2 {
+		t.Fatalf("XNOR alternatives = %d, want 2", len(alts))
+	}
+}
+
+func TestNonRobustSelfMaskingConflict(t *testing.T) {
+	// AND(a,a) falling: even non-robustly the side (same net) needs a
+	// final 1 while the source falls to 0 — conflict.
+	b := circuit.NewBuilder("nrc")
+	a := b.AddInput("a")
+	y := b.AddGate(circuit.And, "y", a, a)
+	b.MarkOutput(y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := c.LineByName("a")
+	f := faults.Fault{
+		Path: []int{al.ID, al.Succs[0], c.LineByName("y").ID},
+		Dir:  faults.SlowToFall, Length: 3,
+	}
+	if alts := NonRobustConditions(c, &f); len(alts) != 0 {
+		t.Errorf("self-masking fall must conflict non-robustly too, got %d alts", len(alts))
+	}
+}

@@ -1,0 +1,116 @@
+package robust
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/faults"
+)
+
+// FaultConditions bundles a fault with its surviving A(p) alternatives.
+type FaultConditions struct {
+	Fault faults.Fault
+	// Alts are the alternative requirement cubes; a test detects the
+	// fault iff it satisfies at least one alternative. Non-empty for
+	// every fault returned by Screen.
+	Alts []Cube
+}
+
+// Screen computes A(p) for every fault and eliminates undetectable
+// faults, in the two steps of Section 3.1:
+//
+//  1. faults whose conditions conflict directly (Conditions returns no
+//     alternative);
+//  2. faults whose conditions imply conflicting values on some line
+//     (the implication fixpoint finds a contradiction for every
+//     alternative).
+//
+// It returns the surviving faults with their alternatives, preserving
+// input order, plus the number eliminated.
+func Screen(c *circuit.Circuit, fs []faults.Fault) (kept []FaultConditions, eliminated int) {
+	return ScreenParallel(c, fs, 1)
+}
+
+// ScreenParallel is Screen with the per-fault work spread over the
+// given number of workers (0 means GOMAXPROCS). The result is
+// identical to the sequential Screen: order is preserved and the
+// screening of each fault is independent.
+func ScreenParallel(c *circuit.Circuit, fs []faults.Fault, workers int) (kept []FaultConditions, eliminated int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(fs) {
+		workers = len(fs)
+	}
+	results := make([][]Cube, len(fs))
+	if workers <= 1 {
+		im := NewImplier(c)
+		for i := range fs {
+			results[i] = screenOne(c, im, &fs[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				im := NewImplier(c)
+				for i := range next {
+					results[i] = screenOne(c, im, &fs[i])
+				}
+			}()
+		}
+		for i := range fs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i := range fs {
+		if len(results[i]) == 0 {
+			eliminated++
+			continue
+		}
+		kept = append(kept, FaultConditions{Fault: fs[i], Alts: results[i]})
+	}
+	return kept, eliminated
+}
+
+func screenOne(c *circuit.Circuit, im *Implier, f *faults.Fault) []Cube {
+	return screenOneWith(c, im, f, Conditions)
+}
+
+func screenOneWith(c *circuit.Circuit, im *Implier, f *faults.Fault, cond ConditionFunc) []Cube {
+	alts := cond(c, f)
+	var ok []Cube
+	for j := range alts {
+		if im.ImplyConsistent(&alts[j]) {
+			ok = append(ok, alts[j])
+		}
+	}
+	return ok
+}
+
+// ConditionFunc generates the A(p) alternatives of a fault; Conditions
+// (robust) and NonRobustConditions both satisfy it.
+type ConditionFunc func(*circuit.Circuit, *faults.Fault) []Cube
+
+// ScreenWith is Screen under an arbitrary sensitization criterion:
+// pass NonRobustConditions to build the target list of a non-robust
+// ATPG run. The whole downstream flow (justification, compaction,
+// enrichment, fault simulation) is condition-agnostic, so the returned
+// FaultConditions feed core.Generate / core.Enrich unchanged.
+func ScreenWith(c *circuit.Circuit, fs []faults.Fault, cond ConditionFunc) (kept []FaultConditions, eliminated int) {
+	im := NewImplier(c)
+	for i := range fs {
+		ok := screenOneWith(c, im, &fs[i], cond)
+		if len(ok) == 0 {
+			eliminated++
+			continue
+		}
+		kept = append(kept, FaultConditions{Fault: fs[i], Alts: ok})
+	}
+	return kept, eliminated
+}

@@ -1,0 +1,193 @@
+package scan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/tval"
+)
+
+func s27WithState(t *testing.T) (*circuit.Circuit, *bench.State) {
+	t.Helper()
+	nl, err := bench.Parse("s27", strings.NewReader(bench.S27Source))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, st, err := nl.CombinationalWithState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, st
+}
+
+func TestStateExtraction(t *testing.T) {
+	c, st := s27WithState(t)
+	if st.NumPI != 4 {
+		t.Errorf("NumPI = %d, want 4", st.NumPI)
+	}
+	if st.NumFF() != 3 {
+		t.Errorf("NumFF = %d, want 3", st.NumFF())
+	}
+	// FF order follows declaration: G5=DFF(G10), G6=DFF(G11), G7=DFF(G13).
+	wantPPI := []string{"G5", "G6", "G7"}
+	wantData := []string{"G10", "G11", "G13"}
+	for i := 0; i < st.NumFF(); i++ {
+		ppi := c.Lines[c.PIs[st.NumPI+i]].Name
+		data := c.Lines[st.FFDataNet[i]].Name
+		if ppi != wantPPI[i] || data != wantData[i] {
+			t.Errorf("FF %d: %s/%s, want %s/%s", i, ppi, data, wantPPI[i], wantData[i])
+		}
+	}
+}
+
+// patternFor builds a two-pattern test from strings over inputs
+// G0 G1 G2 G3 G5 G6 G7.
+func patternFor(t *testing.T, p1, p3 string) circuit.TwoPattern {
+	t.Helper()
+	parse := func(s string) []tval.V {
+		out := make([]tval.V, len(s))
+		for i := range s {
+			switch s[i] {
+			case '0':
+				out[i] = tval.Zero
+			case '1':
+				out[i] = tval.One
+			default:
+				out[i] = tval.X
+			}
+		}
+		return out
+	}
+	return circuit.TwoPattern{P1: parse(p1), P3: parse(p3)}
+}
+
+func TestBroadsideSemantics(t *testing.T) {
+	c, st := s27WithState(t)
+	// Under pattern1 = 0000 000 (inputs G0..G3, state G5..G7):
+	// G14=NOT(G0)=1, G8=AND(G14,G6)=0, G12=NOR(G1,G7)=1,
+	// G13=NOR(G2,G12)=0, G15=OR(G12,G8)=1, G16=OR(G3,G8)=0,
+	// G9=NAND(G16,G15)=1, G11=NOR(G5,G9)=0, G10=NOR(G14,G11)=0.
+	// Next state (G5,G6,G7) <- (G10,G11,G13) = (0,0,0).
+	ok, err := Applicable(c, st, Broadside,
+		patternFor(t, "0000000", "1110000"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("second state (0,0,0) must be broadside-reachable from all-zero")
+	}
+	// Requiring state bit G5=1 in the second pattern is unreachable.
+	ok, err = Applicable(c, st, Broadside,
+		patternFor(t, "0000000", "1110100"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("state (1,0,0) is not the successor of all-zero")
+	}
+}
+
+func TestBroadsideHoldPIs(t *testing.T) {
+	c, st := s27WithState(t)
+	tp := patternFor(t, "0000000", "1110000")
+	ok, err := Applicable(c, st, Broadside, tp, Options{HoldPIs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("changing PIs must violate HoldPIs")
+	}
+	tp2 := patternFor(t, "0000000", "0000000")
+	ok, err = Applicable(c, st, Broadside, tp2, Options{HoldPIs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("constant test with matching next state must be applicable")
+	}
+}
+
+func TestSkewedLoadSemantics(t *testing.T) {
+	_, st := s27WithState(t)
+	c, _ := s27WithState(t)
+	// Default chain G5,G6,G7: after one shift G6 holds old G5, G7
+	// holds old G6; G5 is scan-in (free).
+	tp := patternFor(t, "0000101", "1111x10")
+	// v1 state = (1,0,1): after shift (x,1,0); v2 state (x,1,0) ✓.
+	ok, err := Applicable(c, st, SkewedLoad, tp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("properly shifted state must be applicable")
+	}
+	bad := patternFor(t, "0000101", "1111x11")
+	ok, err = Applicable(c, st, SkewedLoad, bad, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("G7 must hold old G6 value after one shift")
+	}
+	// Reversed chain changes the constraint.
+	ok, err = Applicable(c, st, SkewedLoad, bad, Options{Chain: []int{2, 1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// chain (G7,G6,G5): G6 holds old G7 (=1): v2 G6 = 1 ✓; G5 holds
+	// old G6 (=0): v2 G5 = x ✓; G7 free.
+	if !ok {
+		t.Error("reversed chain should accept this test")
+	}
+}
+
+func TestEnhancedAlwaysApplicable(t *testing.T) {
+	c, st := s27WithState(t)
+	ok, err := Applicable(c, st, EnhancedScan, patternFor(t, "1111111", "0000000"), Options{})
+	if err != nil || !ok {
+		t.Errorf("enhanced scan must accept anything: %v %v", ok, err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	c, st := s27WithState(t)
+	tp := patternFor(t, "0000000", "0000000")
+	if _, err := Applicable(c, st, SkewedLoad, tp, Options{Chain: []int{0, 1}}); err == nil {
+		t.Error("short chain must be rejected")
+	}
+	if _, err := Applicable(c, st, SkewedLoad, tp, Options{Chain: []int{0, 0, 1}}); err == nil {
+		t.Error("duplicate chain entry must be rejected")
+	}
+	bad := &bench.State{NumPI: 1, FFDataNet: []int{0}}
+	if _, err := Applicable(c, bad, Broadside, tp, Options{}); err == nil {
+		t.Error("inconsistent state must be rejected")
+	}
+}
+
+func TestAnalyzeGeneratedTests(t *testing.T) {
+	c, st := s27WithState(t)
+	d, err := experiments.PrepareCircuit(c, experiments.Params{NP: 0, NP0: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := core.Enrich(c, d.P0, d.P1, core.Config{Seed: 1})
+	stats, err := Analyze(c, st, er.Tests, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total != len(er.Tests) || stats.Enhanced != stats.Total {
+		t.Fatalf("stats totals wrong: %+v", stats)
+	}
+	if stats.Broadside > stats.Total || stats.SkewedLoad > stats.Total {
+		t.Fatalf("applicability exceeds total: %+v", stats)
+	}
+	if len(stats.BroadsideIdx) != stats.Broadside || len(stats.SkewedIdx) != stats.SkewedLoad {
+		t.Fatal("index lists inconsistent with counts")
+	}
+	t.Logf("s27 enriched tests: %d total, %d broadside, %d skewed-load",
+		stats.Total, stats.Broadside, stats.SkewedLoad)
+}

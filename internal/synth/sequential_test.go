@@ -1,0 +1,66 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestSequentialSourceParses(t *testing.T) {
+	p := BenchmarkProfiles["b09"]
+	src, err := SequentialSource(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := bench.Parse("b09-seq", strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("generated source does not parse: %v\n%s", err, src)
+	}
+	c, st, err := nl.CombinationalWithState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumFF() != 8 {
+		t.Errorf("NumFF = %d, want 8", st.NumFF())
+	}
+	if st.NumPI != p.PIs-8 {
+		t.Errorf("NumPI = %d, want %d", st.NumPI, p.PIs-8)
+	}
+	// The extraction restores the full combinational input count.
+	if got := len(c.PIs); got != p.PIs {
+		t.Errorf("combinational inputs = %d, want %d", got, p.PIs)
+	}
+	cst := c.Stats()
+	if cst.Gates != p.Gates {
+		t.Errorf("gates = %d, want %d", cst.Gates, p.Gates)
+	}
+}
+
+func TestSequentialSourceDeterministic(t *testing.T) {
+	p := BenchmarkProfiles["b03"]
+	a, err := SequentialSource(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SequentialSource(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("sequential generation not deterministic")
+	}
+}
+
+func TestSequentialSourceErrors(t *testing.T) {
+	p := BenchmarkProfiles["b03"]
+	if _, err := SequentialSource(p, 0); err == nil {
+		t.Error("nFF=0 must fail")
+	}
+	if _, err := SequentialSource(p, p.PIs); err == nil {
+		t.Error("nFF=PIs must fail")
+	}
+	if _, err := SequentialSource(p, 10000); err == nil {
+		t.Error("huge nFF must fail")
+	}
+}

@@ -1,0 +1,103 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Adder builds an n-bit ripple-carry adder (inputs a0..a{n-1},
+// b0..b{n-1}, cin; outputs s0..s{n-1}, cout). Its longest paths run
+// along the carry chain — a classic path delay fault target with a
+// known critical structure, useful as a realistic test vehicle: the
+// carry chain is long, heavily shared, and robustly testable.
+func Adder(bits int) (*circuit.Circuit, error) {
+	if bits < 1 {
+		return nil, fmt.Errorf("synth: adder needs at least 1 bit")
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("rca%d", bits))
+	a := make([]int, bits)
+	bb := make([]int, bits)
+	for i := 0; i < bits; i++ {
+		a[i] = b.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		bb[i] = b.AddInput(fmt.Sprintf("b%d", i))
+	}
+	carry := b.AddInput("cin")
+	for i := 0; i < bits; i++ {
+		axb := b.AddGate(circuit.Xor, fmt.Sprintf("p%d", i), a[i], bb[i])
+		sum := b.AddGate(circuit.Xor, fmt.Sprintf("s%d", i), axb, carry)
+		b.MarkOutput(sum)
+		g1 := b.AddGate(circuit.And, fmt.Sprintf("g%d", i), a[i], bb[i])
+		g2 := b.AddGate(circuit.And, fmt.Sprintf("t%d", i), axb, carry)
+		carry = b.AddGate(circuit.Or, fmt.Sprintf("c%d", i), g1, g2)
+	}
+	b.MarkOutput(carry)
+	return b.Build()
+}
+
+// ParityTree builds a balanced XOR tree over width inputs (output
+// "par"). Every path runs through XOR gates only, exercising the
+// alternative-generating sensitization conditions at scale: robust
+// tests must hold every off-path subtree stable.
+func ParityTree(width int) (*circuit.Circuit, error) {
+	if width < 2 {
+		return nil, fmt.Errorf("synth: parity tree needs at least 2 inputs")
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("par%d", width))
+	level := make([]int, width)
+	for i := 0; i < width; i++ {
+		level[i] = b.AddInput(fmt.Sprintf("x%d", i))
+	}
+	stage := 0
+	for len(level) > 1 {
+		var next []int
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, b.AddGate(circuit.Xor,
+				fmt.Sprintf("n%d_%d", stage, i/2), level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		stage++
+	}
+	b.MarkOutput(level[0])
+	return b.Build()
+}
+
+// Mux builds a 2^sel-to-1 multiplexer tree (data inputs d0.., select
+// inputs s0..): every data path's off-path conditions pin the select
+// lines, a natural fixture for condition merging during compaction.
+func Mux(sel int) (*circuit.Circuit, error) {
+	if sel < 1 || sel > 6 {
+		return nil, fmt.Errorf("synth: mux select width must be 1..6")
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("mux%d", 1<<sel))
+	n := 1 << sel
+	data := make([]int, n)
+	for i := 0; i < n; i++ {
+		data[i] = b.AddInput(fmt.Sprintf("d%d", i))
+	}
+	selIn := make([]int, sel)
+	selInv := make([]int, sel)
+	for i := 0; i < sel; i++ {
+		selIn[i] = b.AddInput(fmt.Sprintf("s%d", i))
+	}
+	for i := 0; i < sel; i++ {
+		selInv[i] = b.AddGate(circuit.Not, fmt.Sprintf("sn%d", i), selIn[i])
+	}
+	level := data
+	for s := 0; s < sel; s++ {
+		var next []int
+		for i := 0; i+1 < len(level); i += 2 {
+			lo := b.AddGate(circuit.And, fmt.Sprintf("lo%d_%d", s, i/2), level[i], selInv[s])
+			hi := b.AddGate(circuit.And, fmt.Sprintf("hi%d_%d", s, i/2), level[i+1], selIn[s])
+			next = append(next, b.AddGate(circuit.Or, fmt.Sprintf("m%d_%d", s, i/2), lo, hi))
+		}
+		level = next
+	}
+	b.MarkOutput(level[0])
+	return b.Build()
+}

@@ -1,0 +1,187 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/pathenum"
+	"repro/internal/robust"
+	"repro/internal/tval"
+)
+
+// simulateBinary evaluates the circuit under one fully specified
+// pattern and returns a lookup by line name.
+func simulateBinary(c *circuit.Circuit, pattern []tval.V) func(string) tval.V {
+	tr := circuit.SimulateTriples(c, pattern, pattern)
+	return func(name string) tval.V {
+		l := c.LineByName(name)
+		return tr[l.ID].P3()
+	}
+}
+
+func TestAdderFunctional(t *testing.T) {
+	const bits = 6
+	c, err := Adder(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		av := r.Intn(1 << bits)
+		bv := r.Intn(1 << bits)
+		cin := r.Intn(2)
+		pattern := make([]tval.V, len(c.PIs))
+		for i := 0; i < bits; i++ {
+			pattern[i] = tval.V(av >> i & 1)
+			pattern[bits+i] = tval.V(bv >> i & 1)
+		}
+		pattern[2*bits] = tval.V(cin)
+		val := simulateBinary(c, pattern)
+		want := av + bv + cin
+		got := 0
+		for i := 0; i < bits; i++ {
+			got |= int(val(sprint("s%d", i))) << i
+		}
+		got |= int(val(sprint("c%d", bits-1))) << bits
+		if got != want {
+			t.Fatalf("adder: %d + %d + %d = %d, circuit says %d", av, bv, cin, want, got)
+		}
+	}
+}
+
+func sprint(f string, a ...interface{}) string {
+	return fmt.Sprintf(f, a...)
+}
+
+func TestAdderCriticalPathIsCarryChain(t *testing.T) {
+	const bits = 5
+	c, err := Adder(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pathenum.Enumerate(c, pathenum.Config{MaxFaults: 40, Mode: pathenum.DistancePruned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The longest paths must run along carry gates (c0..c{n-1}) and
+	// reach the last sum or the carry out.
+	longest := res.Faults[0]
+	carries := 0
+	for _, l := range longest.Path {
+		name := c.Lines[l].Name
+		if len(name) > 1 && name[0] == 'c' && name != "cin" {
+			carries++
+		}
+	}
+	if carries < bits-1 {
+		t.Errorf("longest path crosses %d carry gates, want ≥ %d: %s",
+			carries, bits-1, c.PathString(longest.Path))
+	}
+	// Carry-chain faults of a ripple-carry adder are robustly testable
+	// (a classic result): at least one longest-path fault survives
+	// screening.
+	kept, _ := robust.Screen(c, res.Faults)
+	found := false
+	for i := range kept {
+		if kept[i].Fault.Length == longest.Length {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no longest carry-chain fault is robustly testable")
+	}
+}
+
+func TestParityTreeFunctional(t *testing.T) {
+	for _, width := range []int{2, 3, 8, 13} {
+		c, err := ParityTree(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(int64(width)))
+		for trial := 0; trial < 100; trial++ {
+			pattern := make([]tval.V, len(c.PIs))
+			parity := 0
+			for i := range pattern {
+				v := r.Intn(2)
+				pattern[i] = tval.V(v)
+				parity ^= v
+			}
+			tr := circuit.SimulateTriples(c, pattern, pattern)
+			got := tr[c.POs[0]].P3()
+			if got != tval.V(parity) {
+				t.Fatalf("width %d: parity %d, circuit says %v", width, parity, got)
+			}
+		}
+	}
+}
+
+func TestParityTreeXorAlternatives(t *testing.T) {
+	// Every fault of a parity tree needs stable side subtrees; the
+	// conditions generator must produce alternatives without blowing
+	// the cap, and some faults must be robustly testable.
+	c, err := ParityTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pathenum.Enumerate(c, pathenum.Config{Mode: pathenum.DistancePruned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, eliminated := robust.Screen(c, res.Faults)
+	if len(kept) == 0 {
+		t.Fatal("no parity-tree fault robustly testable")
+	}
+	for i := range kept {
+		if len(kept[i].Alts) < 1 || len(kept[i].Alts) > robust.MaxAlternatives {
+			t.Fatalf("fault has %d alternatives", len(kept[i].Alts))
+		}
+	}
+	t.Logf("parity8: %d kept (%d eliminated); example alternatives: %d",
+		len(kept), eliminated, len(kept[0].Alts))
+}
+
+func TestMuxFunctional(t *testing.T) {
+	const sel = 3
+	c, err := Mux(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << sel
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		pattern := make([]tval.V, len(c.PIs))
+		var data [8]int
+		for i := 0; i < n; i++ {
+			data[i] = r.Intn(2)
+			pattern[i] = tval.V(data[i])
+		}
+		s := r.Intn(n)
+		for b := 0; b < sel; b++ {
+			pattern[n+b] = tval.V(s >> b & 1)
+		}
+		tr := circuit.SimulateTriples(c, pattern, pattern)
+		got := tr[c.POs[0]].P3()
+		if got != tval.V(data[s]) {
+			t.Fatalf("mux: select %d, data %v, got %v", s, data[:n], got)
+		}
+	}
+}
+
+func TestStructuredErrors(t *testing.T) {
+	if _, err := Adder(0); err == nil {
+		t.Error("0-bit adder must fail")
+	}
+	if _, err := ParityTree(1); err == nil {
+		t.Error("1-input parity must fail")
+	}
+	if _, err := Mux(0); err == nil {
+		t.Error("0-select mux must fail")
+	}
+	if _, err := Mux(7); err == nil {
+		t.Error("oversized mux must fail")
+	}
+}

@@ -1,0 +1,148 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/tval"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := BenchmarkProfiles["b09"]
+	c1 := MustGenerate(p)
+	c2 := MustGenerate(p)
+	if c1.Stats() != c2.Stats() {
+		t.Fatalf("same profile produced different circuits: %+v vs %+v",
+			c1.Stats(), c2.Stats())
+	}
+	for i := range c1.Gates {
+		g1, g2 := c1.Gates[i], c2.Gates[i]
+		if g1.Type != g2.Type || g1.Name != g2.Name || len(g1.In) != len(g2.In) {
+			t.Fatalf("gate %d differs between runs", i)
+		}
+		for k := range g1.In {
+			if g1.In[k] != g2.In[k] {
+				t.Fatalf("gate %d pin %d differs between runs", i, k)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedChangesCircuit(t *testing.T) {
+	p := BenchmarkProfiles["b09"]
+	q := p
+	q.Seed++
+	c1, c2 := MustGenerate(p), MustGenerate(q)
+	same := c1.Stats() == c2.Stats()
+	if same {
+		// Stats can coincide; require some structural difference.
+		diff := false
+		for i := range c1.Gates {
+			if i >= len(c2.Gates) || c1.Gates[i].Type != c2.Gates[i].Type {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical circuits")
+		}
+	}
+}
+
+func TestAllProfilesGenerate(t *testing.T) {
+	for name, p := range BenchmarkProfiles {
+		c, err := Generate(p)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		st := c.Stats()
+		if st.PIs != p.PIs {
+			t.Errorf("%s: PIs = %d, want %d", name, st.PIs, p.PIs)
+		}
+		if st.Gates != p.Gates {
+			t.Errorf("%s: Gates = %d, want %d", name, st.Gates, p.Gates)
+		}
+		if st.POs == 0 {
+			t.Errorf("%s: no outputs", name)
+		}
+		if st.Depth < p.Levels/2 {
+			t.Errorf("%s: depth %d too shallow for %d levels", name, st.Depth, p.Levels)
+		}
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	bad := []Profile{
+		{},
+		{Name: "x", PIs: 1, Gates: 10, Levels: 3, MaxFanin: 2},
+		{Name: "x", PIs: 4, Gates: 0, Levels: 3, MaxFanin: 2},
+		{Name: "x", PIs: 4, Gates: 10, Levels: 0, MaxFanin: 2},
+		{Name: "x", PIs: 4, Gates: 10, Levels: 3, MaxFanin: 1},
+		{Name: "x", PIs: 4, Gates: 10, Levels: 3, MaxFanin: 2, XorFrac: 1.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %d should be invalid", i)
+		}
+	}
+	if err := (Profile{Name: "ok", PIs: 4, Gates: 10, Levels: 3, MaxFanin: 2}).Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}
+
+func TestBenchmarkLookup(t *testing.T) {
+	if _, err := Benchmark("s641"); err != nil {
+		t.Errorf("s641: %v", err)
+	}
+	if _, err := Benchmark("nope"); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+}
+
+func TestPaperOrders(t *testing.T) {
+	if len(PaperOrder) != 8 {
+		t.Errorf("PaperOrder has %d circuits, want 8", len(PaperOrder))
+	}
+	if len(PaperOrderEnrichment) != 11 {
+		t.Errorf("PaperOrderEnrichment has %d circuits, want 11", len(PaperOrderEnrichment))
+	}
+	for _, n := range PaperOrderEnrichment {
+		if _, ok := BenchmarkProfiles[n]; !ok {
+			t.Errorf("paper circuit %s has no profile", n)
+		}
+	}
+}
+
+func TestGeneratedCircuitSimulates(t *testing.T) {
+	c := MustGenerate(BenchmarkProfiles["b03"])
+	p1 := make([]tval.V, len(c.PIs))
+	p3 := make([]tval.V, len(c.PIs))
+	for i := range p1 {
+		p1[i] = tval.V(i % 2)
+		p3[i] = tval.V((i + 1) % 2)
+	}
+	tr := circuit.SimulateTriples(c, p1, p3)
+	// Fully specified inputs must give fully specified pattern values
+	// on every line (the intermediate may be x).
+	for id := range c.Lines {
+		v := tr[id]
+		if v.P1() == tval.X || v.P3() == tval.X {
+			t.Fatalf("line %s has unspecified pattern value %v under a fully specified test",
+				c.Lines[id].Name, v)
+		}
+	}
+}
+
+func TestGeneratedDepthGivesLongPaths(t *testing.T) {
+	// The path-count criterion of the paper: each experiment circuit
+	// needs well over 1000 paths. Depth ≥ 8 with branching guarantees
+	// this; verified precisely in the pathenum package, here just a
+	// sanity check on depth.
+	for _, name := range PaperOrder {
+		c := MustGenerate(BenchmarkProfiles[name])
+		if st := c.Stats(); st.Depth < 8 {
+			t.Errorf("%s: depth %d too small", name, st.Depth)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package tdf
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/faults"
+	"repro/internal/synth"
+	"repro/internal/tval"
+)
+
+func TestAllFaults(t *testing.T) {
+	c := bench.S27()
+	tfs := AllFaults(c)
+	if len(tfs) != 2*len(c.Lines) {
+		t.Fatalf("faults = %d, want %d", len(tfs), 2*len(c.Lines))
+	}
+}
+
+func TestGenerateS27(t *testing.T) {
+	c := bench.S27()
+	tfs := AllFaults(c)
+	res := Generate(c, tfs, Config{Seed: 1})
+	if len(res.Tests) == 0 {
+		t.Fatal("no tests generated")
+	}
+	if res.DetectedCount == 0 {
+		t.Fatal("no transition faults detected")
+	}
+	if res.Surrogates == 0 {
+		t.Fatal("no surrogates built")
+	}
+	// Every claimed detection must be witnessed by a test that
+	// launches the right transition at the line.
+	for i, tf := range tfs {
+		if !res.Detected[i] {
+			continue
+		}
+		want := tval.R
+		if tf.Dir == faults.SlowToFall {
+			want = tval.F
+		}
+		witnessed := false
+		for _, tp := range res.Tests {
+			if tp.Simulate(c)[tf.Line] == want {
+				witnessed = true
+				break
+			}
+		}
+		if !witnessed {
+			t.Fatalf("fault on %s/%v claimed detected without a transition witness",
+				c.Lines[tf.Line].Name, tf.Dir)
+		}
+	}
+	t.Logf("s27: %d/%d transition faults detected with %d tests (%d surrogate PDFs)",
+		res.DetectedCount, len(tfs), len(res.Tests), res.Surrogates)
+}
+
+func TestGenerateSubset(t *testing.T) {
+	// Targeting a subset must produce a parallel Detected vector.
+	c := bench.S27()
+	tfs := AllFaults(c)[:6]
+	res := Generate(c, tfs, Config{Seed: 2})
+	if len(res.Detected) != 6 {
+		t.Fatalf("Detected length %d, want 6", len(res.Detected))
+	}
+}
+
+func TestGenerateOnStandIn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	c := synth.MustGenerate(synth.BenchmarkProfiles["b03"])
+	tfs := AllFaults(c)
+	res := Generate(c, tfs, Config{Seed: 3})
+	rate := float64(res.DetectedCount) / float64(len(tfs))
+	t.Logf("b03 stand-in: %d/%d transition faults (%.0f%%) with %d tests",
+		res.DetectedCount, len(tfs), 100*rate, len(res.Tests))
+	if rate < 0.2 {
+		t.Errorf("transition fault coverage %.2f unexpectedly low", rate)
+	}
+}

@@ -1,0 +1,74 @@
+package testio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// FuzzReadTests checks the test set reader never panics and that every
+// accepted test set round trips.
+func FuzzReadTests(f *testing.F) {
+	f.Add("0101010 -> 1111111\n", 7)
+	f.Add("# c\nxxxxxxx -> 0000000\n", 7)
+	f.Add("0 -> 1\n", 1)
+	f.Add("->", 4)
+	f.Fuzz(func(t *testing.T, src string, n int) {
+		if n < 0 || n > 64 {
+			return
+		}
+		tests, err := ReadTests(strings.NewReader(src), n)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteTests(&sb, tests); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadTests(strings.NewReader(sb.String()), n)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(again) != len(tests) {
+			t.Fatalf("round trip changed count: %d vs %d", len(again), len(tests))
+		}
+		for i := range tests {
+			if tests[i].String() != again[i].String() {
+				t.Fatalf("test %d changed: %q vs %q", i, tests[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzReadFaults checks the fault list reader never panics and every
+// accepted list round trips against s27.
+func FuzzReadFaults(f *testing.F) {
+	f.Add("STR G1,G12,G12->G13,G13\n")
+	f.Add("STF G2,G13\n")
+	f.Add("STR X\n")
+	f.Add("# nothing\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c := bench.S27()
+		fs, err := ReadFaults(strings.NewReader(src), c, nil)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteFaults(&sb, c, fs); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadFaults(strings.NewReader(sb.String()), c, nil)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(again) != len(fs) {
+			t.Fatalf("round trip changed count: %d vs %d", len(again), len(fs))
+		}
+		for i := range fs {
+			if fs[i].Key() != again[i].Key() {
+				t.Fatalf("fault %d changed identity", i)
+			}
+		}
+	})
+}

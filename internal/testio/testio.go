@@ -1,0 +1,158 @@
+// Package testio reads and writes the artifacts the tools exchange:
+// two-pattern test sets and path delay fault lists, both in simple
+// line-oriented text formats.
+//
+// Test set format (one test per line, '#' comments):
+//
+//	0110100 -> 1010010
+//
+// Fault list format (one fault per line):
+//
+//	STR G1,G12,G12->G13,G13
+//
+// Paths are written with line names as produced by the circuit
+// builder; branch names contain "->", so path elements are separated
+// by commas.
+package testio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/delay"
+	"repro/internal/faults"
+	"repro/internal/tval"
+)
+
+// WriteTests writes a test set, one test per line.
+func WriteTests(w io.Writer, tests []circuit.TwoPattern) error {
+	bw := bufio.NewWriter(w)
+	for _, tp := range tests {
+		if _, err := fmt.Fprintln(bw, tp); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTests reads a test set written by WriteTests. Each pattern must
+// have exactly nInputs values over {0,1,x}.
+func ReadTests(r io.Reader, nInputs int) ([]circuit.TwoPattern, error) {
+	var out []circuit.TwoPattern
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "->")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("testio: line %d: expected 'p1 -> p2', got %q", lineNo, line)
+		}
+		p1, err := parsePattern(strings.TrimSpace(parts[0]), nInputs)
+		if err != nil {
+			return nil, fmt.Errorf("testio: line %d: %v", lineNo, err)
+		}
+		p3, err := parsePattern(strings.TrimSpace(parts[1]), nInputs)
+		if err != nil {
+			return nil, fmt.Errorf("testio: line %d: %v", lineNo, err)
+		}
+		out = append(out, circuit.TwoPattern{P1: p1, P3: p3})
+	}
+	return out, sc.Err()
+}
+
+func parsePattern(s string, n int) ([]tval.V, error) {
+	if len(s) != n {
+		return nil, fmt.Errorf("pattern %q has %d values, want %d", s, len(s), n)
+	}
+	out := make([]tval.V, n)
+	for i := 0; i < n; i++ {
+		switch s[i] {
+		case '0':
+			out[i] = tval.Zero
+		case '1':
+			out[i] = tval.One
+		case 'x', 'X':
+			out[i] = tval.X
+		default:
+			return nil, fmt.Errorf("invalid value %q in pattern %q", s[i], s)
+		}
+	}
+	return out, nil
+}
+
+// WriteFaults writes a fault list using line names.
+func WriteFaults(w io.Writer, c *circuit.Circuit, fs []faults.Fault) error {
+	bw := bufio.NewWriter(w)
+	for i := range fs {
+		names := make([]string, len(fs[i].Path))
+		for k, l := range fs[i].Path {
+			names[k] = c.Lines[l].Name
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s\n", fs[i].Dir, strings.Join(names, ",")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFaults reads a fault list written by WriteFaults, resolving line
+// names against the circuit, validating each path, and recomputing
+// lengths under the delay model (nil means unit delays).
+func ReadFaults(r io.Reader, c *circuit.Circuit, m delay.Model) ([]faults.Fault, error) {
+	if m == nil {
+		m = delay.Unit{}
+	}
+	byName := make(map[string]int, len(c.Lines))
+	for i := range c.Lines {
+		byName[c.Lines[i].Name] = i
+	}
+	var out []faults.Fault
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("testio: line %d: expected 'DIR path', got %q", lineNo, line)
+		}
+		var dir faults.Direction
+		switch fields[0] {
+		case "STR":
+			dir = faults.SlowToRise
+		case "STF":
+			dir = faults.SlowToFall
+		default:
+			return nil, fmt.Errorf("testio: line %d: unknown direction %q", lineNo, fields[0])
+		}
+		names := strings.Split(fields[1], ",")
+		path := make([]int, len(names))
+		for k, n := range names {
+			id, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("testio: line %d: unknown line %q", lineNo, n)
+			}
+			path[k] = id
+		}
+		if err := c.ValidatePath(path); err != nil {
+			return nil, fmt.Errorf("testio: line %d: %v", lineNo, err)
+		}
+		out = append(out, faults.Fault{
+			Path:   path,
+			Dir:    dir,
+			Length: delay.PathLength(c, m, path),
+		})
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,113 @@
+package testio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/pathenum"
+	"repro/internal/tval"
+)
+
+func TestTestsRoundTrip(t *testing.T) {
+	c := bench.S27()
+	tests := []circuit.TwoPattern{
+		{P1: pattern("0110100"), P3: pattern("1010010")},
+		{P1: pattern("xxxxxxx"), P3: pattern("1111111")},
+	}
+	var sb strings.Builder
+	if err := WriteTests(&sb, tests); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTests(strings.NewReader(sb.String()), len(c.PIs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tests) {
+		t.Fatalf("read %d tests, wrote %d", len(got), len(tests))
+	}
+	for i := range got {
+		if got[i].String() != tests[i].String() {
+			t.Errorf("test %d: %q != %q", i, got[i], tests[i])
+		}
+	}
+}
+
+func pattern(s string) []tval.V {
+	out := make([]tval.V, len(s))
+	for i := range s {
+		switch s[i] {
+		case '0':
+			out[i] = tval.Zero
+		case '1':
+			out[i] = tval.One
+		default:
+			out[i] = tval.X
+		}
+	}
+	return out
+}
+
+func TestReadTestsErrors(t *testing.T) {
+	cases := []string{
+		"0101",                 // missing arrow
+		"010 -> 0101",          // wrong width left
+		"0101 -> 01",           // wrong width right
+		"01a1 -> 0101",         // bad character
+		"0101 -> 0101 -> 0101", // double arrow
+	}
+	for _, src := range cases {
+		if _, err := ReadTests(strings.NewReader(src), 4); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+	// Comments and blanks are fine.
+	got, err := ReadTests(strings.NewReader("# comment\n\n0101 -> 1111\n"), 4)
+	if err != nil || len(got) != 1 {
+		t.Errorf("comment handling broken: %v %v", got, err)
+	}
+}
+
+func TestFaultsRoundTrip(t *testing.T) {
+	c := bench.S27()
+	res, err := pathenum.Enumerate(c, pathenum.Config{Mode: pathenum.DistancePruned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteFaults(&sb, c, res.Faults); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFaults(strings.NewReader(sb.String()), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(res.Faults) {
+		t.Fatalf("read %d faults, wrote %d", len(got), len(res.Faults))
+	}
+	for i := range got {
+		if got[i].Key() != res.Faults[i].Key() {
+			t.Errorf("fault %d changed identity", i)
+		}
+		if got[i].Length != res.Faults[i].Length {
+			t.Errorf("fault %d length %d != %d", i, got[i].Length, res.Faults[i].Length)
+		}
+	}
+}
+
+func TestReadFaultsErrors(t *testing.T) {
+	c := bench.S27()
+	cases := []string{
+		"STR",                    // missing path
+		"UPD G1,G12",             // bad direction
+		"STR G1,NOPE",            // unknown line
+		"STR G1,G13",             // disconnected path
+		"STR G1,G12 extra field", // trailing junk
+	}
+	for _, src := range cases {
+		if _, err := ReadFaults(strings.NewReader(src), c, nil); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}

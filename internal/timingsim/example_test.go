@@ -1,0 +1,29 @@
+package timingsim_test
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/timingsim"
+	"repro/internal/tval"
+)
+
+// A rising input rippling through two inverters with delay 2 each:
+// the output rises at t = 6 (input delay + two gate delays).
+func ExampleSimulate() {
+	b := circuit.NewBuilder("chain")
+	a := b.AddInput("a")
+	n1 := b.AddGate(circuit.Not, "n1", a)
+	n2 := b.AddGate(circuit.Not, "n2", n1)
+	b.MarkOutput(n2)
+	c, _ := b.Build()
+
+	test := circuit.TwoPattern{P1: []tval.V{tval.Zero}, P3: []tval.V{tval.One}}
+	r, _ := timingsim.Simulate(c, timingsim.UniformDelays(c, 2), test)
+	out := c.LineByName("n2")
+	fmt.Printf("n2: initial %v, settles to %v at t=%d\n",
+		r.Waveforms[out.ID][0].V, r.Waveforms[out.ID].Settled(),
+		r.Waveforms[out.ID].SettleTime())
+	// Output:
+	// n2: initial 0, settles to 1 at t=6
+}

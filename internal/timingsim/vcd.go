@@ -1,0 +1,106 @@
+package timingsim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/tval"
+)
+
+// WriteVCD dumps a timing simulation result as a Value Change Dump
+// (IEEE 1364) that standard waveform viewers open. Branch lines mirror
+// their stems and are omitted; one VCD wire is emitted per net, named
+// after the net's signal.
+func WriteVCD(w io.Writer, c *circuit.Circuit, r *Result, timescale string) error {
+	if timescale == "" {
+		timescale = "1ns"
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$date\n    (generated)\n$end\n")
+	fmt.Fprintf(bw, "$version\n    repro timingsim\n$end\n")
+	fmt.Fprintf(bw, "$timescale %s $end\n", timescale)
+	fmt.Fprintf(bw, "$scope module %s $end\n", vcdName(c.Name))
+
+	// One identifier per net line, deterministic order by line ID.
+	var nets []int
+	for id := range c.Lines {
+		if c.Lines[id].Kind != circuit.LineBranch {
+			nets = append(nets, id)
+		}
+	}
+	ids := make(map[int]string, len(nets))
+	for i, net := range nets {
+		ids[net] = vcdID(i)
+		fmt.Fprintf(bw, "$var wire 1 %s %s $end\n", ids[net], vcdName(c.Lines[net].Name))
+	}
+	fmt.Fprintf(bw, "$upscope $end\n$enddefinitions $end\n")
+
+	// Initial values.
+	fmt.Fprintf(bw, "#0\n$dumpvars\n")
+	for _, net := range nets {
+		fmt.Fprintf(bw, "%s%s\n", vcdValue(r.Waveforms[net][0].V), ids[net])
+	}
+	fmt.Fprintf(bw, "$end\n")
+
+	// Merge all transitions in time order.
+	type change struct {
+		t   int
+		net int
+		v   tval.V
+	}
+	var changes []change
+	for _, net := range nets {
+		for _, tr := range r.Waveforms[net][1:] {
+			changes = append(changes, change{tr.T, net, tr.V})
+		}
+	}
+	sort.SliceStable(changes, func(i, j int) bool { return changes[i].t < changes[j].t })
+	lastT := 0
+	for _, ch := range changes {
+		if ch.t != lastT {
+			fmt.Fprintf(bw, "#%d\n", ch.t)
+			lastT = ch.t
+		}
+		fmt.Fprintf(bw, "%s%s\n", vcdValue(ch.v), ids[ch.net])
+	}
+	return bw.Flush()
+}
+
+func vcdValue(v tval.V) string {
+	switch v {
+	case tval.Zero:
+		return "0"
+	case tval.One:
+		return "1"
+	}
+	return "x"
+}
+
+// vcdID assigns printable short identifiers (! through ~, then pairs).
+func vcdID(i int) string {
+	const lo, hi = 33, 126
+	base := hi - lo + 1
+	if i < base {
+		return string(rune(lo + i))
+	}
+	return vcdID(i/base-1) + string(rune(lo+i%base))
+}
+
+// vcdName sanitizes a signal name for VCD (no whitespace).
+func vcdName(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\t' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return "_"
+	}
+	return string(out)
+}

@@ -1,0 +1,81 @@
+package timingsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/tval"
+)
+
+func TestWriteVCD(t *testing.T) {
+	c := bench.S27()
+	test := circuit.TwoPattern{
+		P1: make([]tval.V, len(c.PIs)),
+		P3: make([]tval.V, len(c.PIs)),
+	}
+	for i := range test.P1 {
+		test.P1[i] = tval.Zero
+		test.P3[i] = tval.V(i % 2)
+	}
+	r, err := Simulate(c, UniformDelays(c, 2), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteVCD(&sb, c, r, "1ns"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module s27 $end",
+		"$var wire 1",
+		"$enddefinitions $end",
+		"#0",
+		"$dumpvars",
+		"G17",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// There must be value changes after time 0 (inputs toggle).
+	if !strings.Contains(out, "#2") {
+		t.Error("no transitions at the PI delay time")
+	}
+	// Branch lines must not appear as variables.
+	if strings.Contains(out, "->") {
+		t.Error("branch lines leaked into the VCD")
+	}
+	// Variable count equals net count (PIs + gates).
+	if got, want := strings.Count(out, "$var wire 1"), len(c.PIs)+len(c.Gates); got != want {
+		t.Errorf("VCD declares %d wires, want %d", got, want)
+	}
+}
+
+func TestVCDIdentifiers(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 200; i++ {
+		id := vcdID(i)
+		if id == "" || seen[id] {
+			t.Fatalf("identifier %d (%q) empty or duplicate", i, id)
+		}
+		seen[id] = true
+		for _, r := range id {
+			if r < 33 || r > 126 {
+				t.Fatalf("identifier %q has non-printable rune", id)
+			}
+		}
+	}
+}
+
+func TestVCDNameSanitize(t *testing.T) {
+	if vcdName("a b\tc") != "a_b_c" {
+		t.Error("whitespace not sanitized")
+	}
+	if vcdName("") != "_" {
+		t.Error("empty name not handled")
+	}
+}

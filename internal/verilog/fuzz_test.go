@@ -1,0 +1,25 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the Verilog reader never panics and that accepted
+// netlists extract (or fail extraction) cleanly.
+func FuzzParse(f *testing.F) {
+	f.Add(c17Verilog)
+	f.Add(s27Verilog)
+	f.Add("module m(a,y);\ninput a;\noutput y;\nnot N(y,a);\nendmodule\n")
+	f.Add("module m(); endmodule")
+	f.Add("/* */ module m(a); input a; output a; endmodule")
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, err := Parse("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Extraction may legitimately fail (cycles, dangling nets) but
+		// must not panic.
+		nl.Combinational()
+	})
+}

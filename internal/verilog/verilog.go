@@ -1,0 +1,224 @@
+// Package verilog reads gate-level structural Verilog netlists of the
+// kind the ISCAS/ITC benchmarks circulate in: a single module of
+// primitive gate instances (and/nand/or/nor/xor/xnor/not/buf) plus dff
+// instances for sequential circuits. The result is a bench.Netlist, so
+// the rest of the flow (combinational extraction, ATPG, simulation) is
+// shared with the .bench reader.
+//
+// Supported shape:
+//
+//	// comments and /* block comments */
+//	module c17 (N1,N2,N3,N6,N7,N22,N23);
+//	input N1,N2,N3,N6,N7;
+//	output N22,N23;
+//	wire N10,N11;
+//	nand NAND2_1 (N10, N1, N3);
+//	dff DFF_0 (CK, G5, G10);   // (clock, Q, D) — or (Q, D)
+//	endmodule
+//
+// The first port of a gate instance is its output. Clock inputs that
+// feed only dff clock pins are dropped during conversion.
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+)
+
+// Parse reads one structural Verilog module into a bench.Netlist.
+func Parse(name string, r io.Reader) (*bench.Netlist, error) {
+	stmts, err := statements(r)
+	if err != nil {
+		return nil, fmt.Errorf("verilog: %s: %v", name, err)
+	}
+	nl := &bench.Netlist{Name: name}
+	clockCandidates := map[string]bool{}
+	usedAsData := map[string]bool{}
+	sawModule := false
+
+	for _, st := range stmts {
+		fields := strings.Fields(st)
+		if len(fields) == 0 {
+			continue
+		}
+		keyword := strings.ToLower(fields[0])
+		switch keyword {
+		case "module":
+			sawModule = true
+			// Port list ignored; input/output declarations carry the
+			// direction information.
+		case "endmodule":
+			// done
+		case "input":
+			for _, n := range declNames(st) {
+				nl.Inputs = append(nl.Inputs, n)
+			}
+		case "output":
+			for _, n := range declNames(st) {
+				nl.Outputs = append(nl.Outputs, n)
+			}
+		case "wire", "reg":
+			// internal nets carry no information we need
+		case "and", "nand", "or", "nor", "xor", "xnor", "not", "buf", "buff", "dff":
+			out, ins, err := instancePorts(st)
+			if err != nil {
+				return nil, fmt.Errorf("verilog: %s: %v", name, err)
+			}
+			if keyword == "dff" {
+				// (clock, Q, D) or (Q, D): the output named by the
+				// first data port, D is the last port.
+				switch len(ins) {
+				case 1:
+					// out = Q already, ins[0] = D
+				case 2:
+					// out = clock; shift.
+					clockCandidates[out] = true
+					out, ins = ins[0], ins[1:]
+				default:
+					return nil, fmt.Errorf("verilog: %s: dff %q must have 2 or 3 ports", name, st)
+				}
+				nl.Gates = append(nl.Gates, bench.NetlistGate{Out: out, Type: "DFF", In: ins})
+				usedAsData[ins[0]] = true
+				continue
+			}
+			gt := strings.ToUpper(keyword)
+			if gt == "BUFF" {
+				gt = "BUF"
+			}
+			nl.Gates = append(nl.Gates, bench.NetlistGate{Out: out, Type: gt, In: ins})
+			for _, in := range ins {
+				usedAsData[in] = true
+			}
+		default:
+			return nil, fmt.Errorf("verilog: %s: unsupported statement %q", name, st)
+		}
+	}
+	if !sawModule {
+		return nil, fmt.Errorf("verilog: %s: no module declaration", name)
+	}
+	// Drop pure clock inputs: inputs never used as gate/dff data.
+	outputs := map[string]bool{}
+	for _, o := range nl.Outputs {
+		outputs[o] = true
+	}
+	kept := nl.Inputs[:0]
+	for _, in := range nl.Inputs {
+		switch {
+		case usedAsData[in] || outputs[in]:
+			kept = append(kept, in)
+		case clockCandidates[in] || isClockName(in):
+			// pure clock: dropped
+		default:
+			// Unused non-clock input: keep it so the circuit builder
+			// reports the dangling net instead of silently losing it.
+			kept = append(kept, in)
+		}
+	}
+	nl.Inputs = kept
+	if len(nl.Inputs) == 0 {
+		return nil, fmt.Errorf("verilog: %s: no usable inputs", name)
+	}
+	if len(nl.Outputs) == 0 {
+		return nil, fmt.Errorf("verilog: %s: no outputs", name)
+	}
+	return nl, nil
+}
+
+// ParseCombinational parses and extracts the combinational logic.
+func ParseCombinational(name string, r io.Reader) (*circuit.Circuit, error) {
+	nl, err := Parse(name, r)
+	if err != nil {
+		return nil, err
+	}
+	return nl.Combinational()
+}
+
+// statements splits the source into semicolon-terminated statements
+// with comments removed.
+func statements(r io.Reader) ([]string, error) {
+	br := bufio.NewReader(r)
+	raw, err := io.ReadAll(br)
+	if err != nil {
+		return nil, err
+	}
+	src := string(raw)
+	// Strip block comments.
+	for {
+		i := strings.Index(src, "/*")
+		if i < 0 {
+			break
+		}
+		j := strings.Index(src[i:], "*/")
+		if j < 0 {
+			return nil, fmt.Errorf("unterminated block comment")
+		}
+		src = src[:i] + " " + src[i+j+2:]
+	}
+	// Strip line comments.
+	var sb strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if k := strings.Index(line, "//"); k >= 0 {
+			line = line[:k]
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	src = sb.String()
+	// endmodule has no semicolon; normalize.
+	src = strings.ReplaceAll(src, "endmodule", "endmodule;")
+	var out []string
+	for _, st := range strings.Split(src, ";") {
+		st = strings.TrimSpace(st)
+		if st != "" {
+			out = append(out, st)
+		}
+	}
+	return out, nil
+}
+
+// declNames extracts the identifiers of an input/output/wire
+// declaration.
+func declNames(st string) []string {
+	fields := strings.Fields(st)
+	rest := strings.Join(fields[1:], " ")
+	var out []string
+	for _, n := range strings.Split(rest, ",") {
+		n = strings.TrimSpace(n)
+		if n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// instancePorts parses "gate NAME (out, in, ...)" and returns the
+// output and input nets.
+func instancePorts(st string) (string, []string, error) {
+	open := strings.Index(st, "(")
+	close_ := strings.LastIndex(st, ")")
+	if open < 0 || close_ < open {
+		return "", nil, fmt.Errorf("malformed instance %q", st)
+	}
+	var ports []string
+	for _, p := range strings.Split(st[open+1:close_], ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return "", nil, fmt.Errorf("empty port in %q", st)
+		}
+		ports = append(ports, p)
+	}
+	if len(ports) < 2 {
+		return "", nil, fmt.Errorf("instance %q needs at least 2 ports", st)
+	}
+	return ports[0], ports[1:], nil
+}
+
+func isClockName(n string) bool {
+	l := strings.ToLower(n)
+	return l == "ck" || l == "clk" || l == "clock" || l == "cp"
+}

@@ -1,0 +1,266 @@
+// Package yield quantifies the motivation of the DATE 2002 paper with
+// Monte-Carlo delay variation: path length estimates are inexact, so a
+// path placed in the second target set P1 may actually be longer than
+// paths in P0 — "small errors in the computation of the path lengths
+// can result in a path that was placed in P1 being longer than a path
+// placed in P0" (Section 1).
+//
+// Each line receives a delay distribution; samples draw every line
+// once (so paths sharing lines stay correlated) and the analysis
+// reports, per path, the probability of being critical, plus the
+// probability that the nominally-longest path is displaced — the
+// number that justifies enriching test sets with next-to-longest-path
+// faults.
+package yield
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// Dist is a per-line delay distribution.
+type Dist interface {
+	// Sample draws one delay; results must be non-negative.
+	Sample(r *rand.Rand) float64
+	// Nominal is the deterministic delay the distribution varies
+	// around (used for the nominal ranking).
+	Nominal() float64
+}
+
+// Fixed is a deterministic delay.
+type Fixed float64
+
+// Sample implements Dist.
+func (f Fixed) Sample(*rand.Rand) float64 { return float64(f) }
+
+// Nominal implements Dist.
+func (f Fixed) Nominal() float64 { return float64(f) }
+
+// Uniform draws uniformly from [Lo, Hi].
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *rand.Rand) float64 {
+	return u.Lo + r.Float64()*(u.Hi-u.Lo)
+}
+
+// Nominal implements Dist.
+func (u Uniform) Nominal() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Normal draws from a normal distribution clamped at zero.
+type Normal struct{ Mean, Sigma float64 }
+
+// Sample implements Dist.
+func (n Normal) Sample(r *rand.Rand) float64 {
+	v := n.Mean + n.Sigma*r.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Nominal implements Dist.
+func (n Normal) Nominal() float64 { return n.Mean }
+
+// Model assigns a distribution to every line.
+type Model []Dist
+
+// UniformVariation builds a model where every line's delay is uniform
+// in [nominal·(1-rel), nominal·(1+rel)] around a unit nominal delay.
+func UniformVariation(c *circuit.Circuit, rel float64) Model {
+	m := make(Model, len(c.Lines))
+	for i := range m {
+		m[i] = Uniform{Lo: 1 - rel, Hi: 1 + rel}
+	}
+	return m
+}
+
+// Result reports a Monte-Carlo run over a set of paths.
+type Result struct {
+	Samples int
+	// NominalDelay[i] is path i's delay under nominal line delays.
+	NominalDelay []float64
+	// MeanDelay[i] is the sampled mean.
+	MeanDelay []float64
+	// CriticalProb[i] is the fraction of samples in which path i was
+	// (one of) the longest of the set.
+	CriticalProb []float64
+	// NominalCritical indexes the nominally longest path.
+	NominalCritical int
+	// DisplacedProb is the fraction of samples whose longest path was
+	// NOT the nominally longest — the paper's motivating risk.
+	DisplacedProb float64
+}
+
+// MonteCarlo samples the model and analyzes path criticality.
+func MonteCarlo(c *circuit.Circuit, paths [][]int, m Model, samples int, seed int64) (*Result, error) {
+	if len(m) != len(c.Lines) {
+		return nil, fmt.Errorf("yield: model covers %d lines, circuit has %d", len(m), len(c.Lines))
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("yield: no paths")
+	}
+	if samples <= 0 {
+		return nil, fmt.Errorf("yield: samples must be positive")
+	}
+	for _, p := range paths {
+		if err := c.ValidatePath(p); err != nil {
+			return nil, err
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	res := &Result{
+		Samples:      samples,
+		NominalDelay: make([]float64, len(paths)),
+		MeanDelay:    make([]float64, len(paths)),
+		CriticalProb: make([]float64, len(paths)),
+	}
+	for i, p := range paths {
+		for _, l := range p {
+			res.NominalDelay[i] += m[l].Nominal()
+		}
+	}
+	res.NominalCritical = argmax(res.NominalDelay)
+
+	lineDelay := make([]float64, len(c.Lines))
+	delays := make([]float64, len(paths))
+	displaced := 0
+	for s := 0; s < samples; s++ {
+		for l := range lineDelay {
+			lineDelay[l] = m[l].Sample(r)
+		}
+		for i, p := range paths {
+			d := 0.0
+			for _, l := range p {
+				d += lineDelay[l]
+			}
+			delays[i] = d
+			res.MeanDelay[i] += d
+		}
+		maxD := delays[argmax(delays)]
+		displacedThis := true
+		for i, d := range delays {
+			if d >= maxD-1e-12 {
+				res.CriticalProb[i]++
+				if i == res.NominalCritical {
+					displacedThis = false
+				}
+			}
+		}
+		if displacedThis {
+			displaced++
+		}
+	}
+	for i := range paths {
+		res.MeanDelay[i] /= float64(samples)
+		res.CriticalProb[i] /= float64(samples)
+	}
+	res.DisplacedProb = float64(displaced) / float64(samples)
+	return res, nil
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// BoundaryCrossProb estimates the probability that the P0/P1 ranking
+// boundary inverts: some P1 path's sampled delay exceeds some P0
+// path's. The partition cut sits between adjacent length classes, so
+// under any real variation this probability is high — the statistical
+// statement of the paper's argument that the faults just below the cut
+// deserve coverage too.
+func BoundaryCrossProb(c *circuit.Circuit, p0Paths, p1Paths [][]int, m Model, samples int, seed int64) (float64, error) {
+	if len(m) != len(c.Lines) {
+		return 0, fmt.Errorf("yield: model covers %d lines, circuit has %d", len(m), len(c.Lines))
+	}
+	if len(p0Paths) == 0 || len(p1Paths) == 0 || samples <= 0 {
+		return 0, fmt.Errorf("yield: need P0 and P1 paths and positive samples")
+	}
+	for _, p := range append(append([][]int{}, p0Paths...), p1Paths...) {
+		if err := c.ValidatePath(p); err != nil {
+			return 0, err
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	lineDelay := make([]float64, len(c.Lines))
+	crossed := 0
+	for s := 0; s < samples; s++ {
+		for l := range lineDelay {
+			lineDelay[l] = m[l].Sample(r)
+		}
+		minP0 := math.Inf(1)
+		for _, p := range p0Paths {
+			d := 0.0
+			for _, l := range p {
+				d += lineDelay[l]
+			}
+			if d < minP0 {
+				minP0 = d
+			}
+		}
+		for _, p := range p1Paths {
+			d := 0.0
+			for _, l := range p {
+				d += lineDelay[l]
+			}
+			if d > minP0 {
+				crossed++
+				break
+			}
+		}
+	}
+	return float64(crossed) / float64(samples), nil
+}
+
+// DisplacementBySet evaluates the paper's P0/P1 story: given the paths
+// of P0 and P1, it returns the probability that the sampled critical
+// path lies in P1 — the escape risk of testing only P0.
+func DisplacementBySet(c *circuit.Circuit, p0Paths, p1Paths [][]int, m Model, samples int, seed int64) (float64, error) {
+	all := make([][]int, 0, len(p0Paths)+len(p1Paths))
+	all = append(all, p0Paths...)
+	all = append(all, p1Paths...)
+	if len(m) != len(c.Lines) {
+		return 0, fmt.Errorf("yield: model covers %d lines, circuit has %d", len(m), len(c.Lines))
+	}
+	if len(p0Paths) == 0 || samples <= 0 {
+		return 0, fmt.Errorf("yield: need P0 paths and positive samples")
+	}
+	for _, p := range all {
+		if err := c.ValidatePath(p); err != nil {
+			return 0, err
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	lineDelay := make([]float64, len(c.Lines))
+	inP1 := 0
+	for s := 0; s < samples; s++ {
+		for l := range lineDelay {
+			lineDelay[l] = m[l].Sample(r)
+		}
+		bestD := math.Inf(-1)
+		bestI := 0
+		for i, p := range all {
+			d := 0.0
+			for _, l := range p {
+				d += lineDelay[l]
+			}
+			if d > bestD {
+				bestD = d
+				bestI = i
+			}
+		}
+		if bestI >= len(p0Paths) {
+			inP1++
+		}
+	}
+	return float64(inP1) / float64(samples), nil
+}
