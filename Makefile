@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race check bench engine-bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Engine tests under the race detector (cheap; always part of check).
+race:
+	$(GO) test -race ./internal/engine/... ./internal/faultsim/...
+
+# The CI gate: vet + build + full suite under -race.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The ENGINE_BENCH entry in EXPERIMENTS.md.
+engine-bench:
+	$(GO) test -run='^$$' -bench='Engine|Count' -benchtime=3x ./internal/engine/ ./internal/faultsim/

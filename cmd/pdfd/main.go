@@ -1,0 +1,35 @@
+// Command pdfd serves the test generation procedures as HTTP jobs: an
+// engine of bounded workers runs ATPG, enrichment and fault-simulation
+// jobs with per-job deadlines, sharded parallel fault simulation and a
+// result cache keyed by (circuit hash, config, fault-set digest).
+//
+// Usage:
+//
+//	pdfd [-addr :8344] [-workers 0] [-sim-workers 4] [-queue 64]
+//	     [-cache 128] [-timeout 10m]
+//
+// Endpoints:
+//
+//	POST   /jobs       submit {"kind":"enrich","circuit":"s27","np":2000,"np0":300,"seed":1}
+//	GET    /jobs       list jobs
+//	GET    /jobs/{id}  poll a job; ?wait=5s blocks until it finishes
+//	DELETE /jobs/{id}  cancel a job
+//	GET    /healthz    liveness probe
+//	GET    /metrics    queue/cache/latency counters
+//
+// See the README section "Running as a service" for curl examples.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.PDFD(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pdfd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,22 +1,23 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
-	"repro/internal/faultsim"
 	"repro/internal/report"
-	"repro/internal/robust"
 	"repro/internal/tdf"
 	"repro/internal/testio"
 )
 
 // PDFATPG implements cmd/pdfatpg: the full test generation flow on one
-// circuit.
+// circuit. The run is executed as an engine job, so -workers shards
+// the fault-simulation stages (results are identical for any value).
 func PDFATPG(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("pdfatpg", stderr)
 	load := circuitFlags(fs)
@@ -28,11 +29,15 @@ func PDFATPG(args []string, stdout, stderr io.Writer) error {
 		useBnB    = fs.Bool("bnb", false, "use the branch-and-bound justification backend")
 		tdfMode   = fs.Bool("tdf", false, "generate transition fault tests instead (extension)")
 		seed      = fs.Int64("seed", 1, "randomization seed")
+		workers   = fs.Int("workers", 1, "fault-simulation shard count (identical results for any value)")
 		testsOut  = fs.String("tests", "", "write the generated two-pattern tests to this file")
 		rep       = fs.Bool("report", false, "print a coverage report (by path length and observation point)")
 		collapse  = fs.Bool("collapse", false, "collapse subsumed faults before targeting (coverage still measured on the full set)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := parseHeuristic(*heuristic); err != nil {
 		return err
 	}
 	c, err := load()
@@ -54,66 +59,64 @@ func PDFATPG(args []string, stdout, stderr io.Writer) error {
 		return writeTestsFile(stdout, *testsOut, res.Tests)
 	}
 
-	p := experiments.Params{NP: *np, NP0: *np0, Seed: *seed}
-	d, err := experiments.PrepareCircuit(c, p)
+	spec := engine.Spec{
+		Kind:      engine.KindGenerate,
+		Circ:      c,
+		NP:        *np,
+		NP0:       *np0,
+		Seed:      *seed,
+		Heuristic: *heuristic,
+		UseBnB:    *useBnB,
+		Collapse:  *collapse,
+		Workers:   *workers,
+	}
+	if *enrich {
+		spec.Kind = engine.KindEnrich
+	}
+	eng := engine.New(engine.Config{Workers: 1, SimWorkers: *workers, CacheSize: 4})
+	defer eng.Close()
+	v, err := eng.RunJob(context.Background(), spec)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "enumerated %d faults (budget %d), eliminated %d undetectable\n",
-		d.Enumerated, *np, d.Eliminated)
-	fmt.Fprintf(stdout, "partition: i0=%d, |P0|=%d, |P1|=%d\n", d.I0, len(d.P0), len(d.P1))
+	if v.Status != engine.StatusDone {
+		return fmt.Errorf("job %s: %s", v.Status, v.Error)
+	}
+	r := v.Result
 
-	p0, p1 := d.P0, d.P1
-	if *collapse {
-		p0 = collapseSet(stdout, "P0", p0)
-		p1 = collapseSet(stdout, "P1", p1)
+	fmt.Fprintf(stdout, "enumerated %d faults (budget %d), eliminated %d undetectable\n",
+		r.Enumerated, *np, r.Eliminated)
+	fmt.Fprintf(stdout, "partition: i0=%d, |P0|=%d, |P1|=%d\n", r.I0, r.P0Size, r.P1Size)
+	if r.P0Targets != r.P0Size {
+		fmt.Fprintf(stdout, "collapsed P0: %d -> %d targets (%d subsumed)\n",
+			r.P0Size, r.P0Targets, r.P0Size-r.P0Targets)
+	}
+	if r.P1Targets != r.P1Size {
+		fmt.Fprintf(stdout, "collapsed P1: %d -> %d targets (%d subsumed)\n",
+			r.P1Size, r.P1Targets, r.P1Size-r.P1Targets)
 	}
 
-	cfg := core.Config{Seed: *seed, UseBnB: *useBnB}
-	var tests []circuit.TwoPattern
+	elapsed := v.RunMS / 1000
 	if *enrich {
-		er := core.Enrich(c, p0, p1, cfg)
-		tests = er.Tests
 		fmt.Fprintf(stdout, "enrichment: %d tests, P0 detected %d/%d, P0∪P1 detected %d/%d (%.1fs)\n",
-			len(er.Tests), er.DetectedP0Count, len(p0),
-			er.DetectedP0Count+er.DetectedP1Count, len(p0)+len(p1),
-			er.Elapsed.Seconds())
+			r.TestCount, r.P0Detected, r.P0Targets,
+			r.AllDetected, r.P0Targets+r.P1Targets, elapsed)
 	} else {
-		h, err := parseHeuristic(*heuristic)
+		fmt.Fprintf(stdout, "basic (%s): %d tests, P0 detected %d/%d, aborts %d (%.1fs)\n",
+			*heuristic, r.TestCount, r.P0Detected, r.P0Targets, r.PrimaryAborts, elapsed)
+		fmt.Fprintf(stdout, "P0∪P1 accidental detection: %d/%d\n", r.AllDetected, r.AllTotal)
+	}
+	if *rep {
+		// The report needs the fault set itself; re-prepare (cheap and
+		// deterministic — same params as the engine's prepare stage).
+		d, err := experiments.PrepareCircuit(c, experiments.Params{NP: *np, NP0: *np0, Seed: *seed})
 		if err != nil {
 			return err
 		}
-		cfg.Heuristic = h
-		res := core.Generate(c, p0, cfg)
-		tests = res.Tests
-		fmt.Fprintf(stdout, "basic (%s): %d tests, P0 detected %d/%d, aborts %d (%.1fs)\n",
-			h, len(res.Tests), res.DetectedCount, len(p0), res.PrimaryAborts,
-			res.Elapsed.Seconds())
-		all := d.All()
-		fmt.Fprintf(stdout, "P0∪P1 accidental detection: %d/%d\n",
-			faultsim.Count(c, res.Tests, all), len(all))
-	}
-	if *rep {
 		fmt.Fprintln(stdout)
-		report.Build(c, tests, d.All()).Render(stdout)
+		report.Build(c, r.TestPatterns, d.All()).Render(stdout)
 	}
-	return writeTestsFile(stdout, *testsOut, tests)
-}
-
-// collapseSet removes subsumed faults from a target set, reporting the
-// reduction.
-func collapseSet(stdout io.Writer, name string, fcs []robust.FaultConditions) []robust.FaultConditions {
-	reps, subsumed := robust.Collapse(fcs)
-	if len(subsumed) == 0 {
-		return fcs
-	}
-	out := make([]robust.FaultConditions, len(reps))
-	for i, r := range reps {
-		out[i] = fcs[r]
-	}
-	fmt.Fprintf(stdout, "collapsed %s: %d -> %d targets (%d subsumed)\n",
-		name, len(fcs), len(out), len(subsumed))
-	return out
+	return writeTestsFile(stdout, *testsOut, r.TestPatterns)
 }
 
 func writeTestsFile(stdout io.Writer, path string, tests []circuit.TwoPattern) error {
@@ -133,10 +136,5 @@ func writeTestsFile(stdout io.Writer, path string, tests []circuit.TwoPattern) e
 }
 
 func parseHeuristic(s string) (core.Heuristic, error) {
-	for _, h := range core.Heuristics {
-		if h.String() == s {
-			return h, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown heuristic %q (want uncomp, arbit, length or values)", s)
+	return core.ParseHeuristic(s)
 }

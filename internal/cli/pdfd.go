@@ -1,0 +1,42 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// PDFD implements cmd/pdfd: the HTTP job server over the enrichment
+// engine. It blocks serving until the listener fails.
+func PDFD(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("pdfd", stderr)
+	var (
+		addr       = fs.String("addr", ":8344", "listen address")
+		workers    = fs.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
+		simWorkers = fs.Int("sim-workers", 4, "default fault-simulation shards per job")
+		queue      = fs.Int("queue", 64, "maximum queued jobs (submissions beyond it get 503)")
+		cacheSize  = fs.Int("cache", 128, "result cache entries")
+		timeout    = fs.Duration("timeout", 10*time.Minute, "default per-job deadline (0 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng := engine.New(engine.Config{
+		Workers:        *workers,
+		SimWorkers:     *simWorkers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+	})
+	defer eng.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "pdfd listening on %s\n", ln.Addr())
+	return http.Serve(ln, engine.NewServer(eng))
+}

@@ -1,0 +1,70 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPDFDBadFlags(t *testing.T) {
+	if _, _, err := run(t, func(a []string, o, e *bytes.Buffer) error {
+		return PDFD(a, o, e)
+	}, "-nosuchflag"); err == nil {
+		t.Error("unknown flag must fail")
+	}
+	if _, _, err := run(t, func(a []string, o, e *bytes.Buffer) error {
+		return PDFD(a, o, e)
+	}, "-addr", "999.999.999.999:0"); err == nil {
+		t.Error("unlistenable address must fail")
+	}
+}
+
+// The -workers flag must not change any byte of the report: the CLI
+// rides the engine's deterministic sharded fault simulation.
+func TestPDFATPGWorkersIdenticalOutput(t *testing.T) {
+	for _, extra := range [][]string{nil, {"-enrich"}} {
+		base := append([]string{"-profile", "s27", "-np", "0", "-np0", "10"}, extra...)
+		serial, _, err := run(t, func(a []string, o, e *bytes.Buffer) error {
+			return PDFATPG(a, o, e)
+		}, append(base, "-workers", "1")...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, _, err := run(t, func(a []string, o, e *bytes.Buffer) error {
+			return PDFATPG(a, o, e)
+		}, append(base, "-workers", "8")...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial != parallel {
+			t.Errorf("workers changed the output (%v):\n--- serial ---\n%s--- parallel ---\n%s",
+				extra, serial, parallel)
+		}
+	}
+}
+
+func TestPDFSimWorkersIdenticalOutput(t *testing.T) {
+	dir := t.TempDir()
+	testsFile := dir + "/tests.txt"
+	if _, _, err := run(t, func(a []string, o, e *bytes.Buffer) error {
+		return PDFATPG(a, o, e)
+	}, "-profile", "s27", "-np", "0", "-np0", "10", "-tests", testsFile); err != nil {
+		t.Fatal(err)
+	}
+	var outs []string
+	for _, w := range []string{"1", "4"} {
+		out, _, err := run(t, func(a []string, o, e *bytes.Buffer) error {
+			return PDFSim(a, o, e)
+		}, "-profile", "s27", "-np", "0", "-tests", testsFile, "-v", "-workers", w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("pdfsim -workers changed the output:\n--- 1 ---\n%s--- 4 ---\n%s", outs[0], outs[1])
+	}
+	if !strings.Contains(outs[0], "detected") {
+		t.Errorf("missing detection summary:\n%s", outs[0])
+	}
+}

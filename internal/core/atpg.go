@@ -18,6 +18,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -58,6 +60,16 @@ func (h Heuristic) String() string {
 
 // Heuristics lists all four in table order.
 var Heuristics = []Heuristic{Uncompacted, Arbitrary, LengthBased, ValueBased}
+
+// ParseHeuristic parses a heuristic name as printed by String.
+func ParseHeuristic(s string) (Heuristic, error) {
+	for _, h := range Heuristics {
+		if h.String() == s {
+			return h, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown heuristic %q (want uncomp, arbit, length or values)", s)
+}
 
 // Config parameterizes a test generation run.
 type Config struct {
@@ -131,12 +143,20 @@ func (b bnbBackend) stats() justify.Stats {
 type generator struct {
 	c        *circuit.Circuit
 	cfg      Config
+	ctx      context.Context // nil means never canceled
 	rng      *rand.Rand
 	just     backend
 	faults   []robust.FaultConditions
 	detected []bool
 	tried    []bool
 	arbOrder []int // iteration order for Arbitrary
+}
+
+// canceled reports whether the run's context has been canceled; the
+// generation loops poll it between primary targets and between
+// secondary candidates.
+func (g *generator) canceled() bool {
+	return g.ctx != nil && g.ctx.Err() != nil
 }
 
 func newGenerator(c *circuit.Circuit, fcs []robust.FaultConditions, cfg Config) *generator {
@@ -164,11 +184,21 @@ func newGenerator(c *circuit.Circuit, fcs []robust.FaultConditions, cfg Config) 
 // Generate runs the basic test generation procedure of Section 2 on a
 // single target set (already screened: every fault has alternatives).
 func Generate(c *circuit.Circuit, fcs []robust.FaultConditions, cfg Config) *Result {
+	res, _ := GenerateCtx(context.Background(), c, fcs, cfg)
+	return res
+}
+
+// GenerateCtx is Generate under a context: the run stops promptly when
+// ctx is canceled, returning the partial result together with
+// ctx.Err(). Cancellation is observed between primary targets and
+// between secondary candidates.
+func GenerateCtx(ctx context.Context, c *circuit.Circuit, fcs []robust.FaultConditions, cfg Config) (*Result, error) {
 	start := time.Now()
 	g := newGenerator(c, fcs, cfg)
+	g.ctx = ctx
 	res := &Result{}
 	setOf := make([]int, len(fcs))
-	for {
+	for !g.canceled() {
 		pi := g.pickPrimarySet(setOf, 0)
 		if pi < 0 {
 			break
@@ -188,7 +218,10 @@ func Generate(c *circuit.Circuit, fcs []robust.FaultConditions, cfg Config) *Res
 	g.fill(res)
 	res.Elapsed = time.Since(start)
 	res.JustifyStats = g.just.stats()
-	return res
+	if ctx != nil {
+		return res, ctx.Err()
+	}
+	return res, nil
 }
 
 // EnrichResult reports a run of the enrichment procedure.
@@ -211,7 +244,14 @@ type EnrichResult struct {
 // config selects another compaction heuristic. Enrich is the k = 2
 // case of EnrichK, the configuration the paper evaluates.
 func Enrich(c *circuit.Circuit, p0, p1 []robust.FaultConditions, cfg Config) *EnrichResult {
-	kres := EnrichK(c, [][]robust.FaultConditions{p0, p1}, cfg)
+	res, _ := EnrichCtx(context.Background(), c, p0, p1, cfg)
+	return res
+}
+
+// EnrichCtx is Enrich under a context; see GenerateCtx for the
+// cancellation contract.
+func EnrichCtx(ctx context.Context, c *circuit.Circuit, p0, p1 []robust.FaultConditions, cfg Config) (*EnrichResult, error) {
+	kres, err := EnrichKCtx(ctx, c, [][]robust.FaultConditions{p0, p1}, cfg)
 	return &EnrichResult{
 		Tests:            kres.Tests,
 		DetectedP0:       kres.Detected[0],
@@ -224,7 +264,7 @@ func Enrich(c *circuit.Circuit, p0, p1 []robust.FaultConditions, cfg Config) *En
 		CheapAccepts:     kres.CheapAccepts,
 		Elapsed:          kres.Elapsed,
 		JustifyStats:     kres.JustifyStats,
-	}
+	}, err
 }
 
 // justifyFault tries the fault's alternatives (merged into base when

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/circuit"
@@ -30,6 +31,14 @@ type EnrichKResult struct {
 // notes this generalization in Section 3.1 ("it is possible to
 // partition P into a larger number of subsets") and evaluates k = 2.
 func EnrichK(c *circuit.Circuit, sets [][]robust.FaultConditions, cfg Config) *EnrichKResult {
+	res, _ := EnrichKCtx(context.Background(), c, sets, cfg)
+	return res
+}
+
+// EnrichKCtx is EnrichK under a context: the run stops promptly when
+// ctx is canceled, returning the partial result together with
+// ctx.Err().
+func EnrichKCtx(ctx context.Context, c *circuit.Circuit, sets [][]robust.FaultConditions, cfg Config) (*EnrichKResult, error) {
 	if cfg.Heuristic == Uncompacted {
 		cfg.Heuristic = ValueBased
 	}
@@ -43,8 +52,9 @@ func EnrichK(c *circuit.Circuit, sets [][]robust.FaultConditions, cfg Config) *E
 		}
 	}
 	g := newGenerator(c, all, cfg)
+	g.ctx = ctx
 	res := &Result{}
-	for {
+	for !g.canceled() {
 		pi := g.pickPrimarySet(setOf, 0)
 		if pi < 0 {
 			break
@@ -81,7 +91,10 @@ func EnrichK(c *circuit.Circuit, sets [][]robust.FaultConditions, cfg Config) *E
 			idx++
 		}
 	}
-	return out
+	if ctx != nil {
+		return out, ctx.Err()
+	}
+	return out, nil
 }
 
 // pickPrimarySet picks the next primary from the given set.
@@ -113,6 +126,9 @@ func (g *generator) addSecondariesPhased(primary int, test circuit.TwoPattern, c
 	for phase := 0; phase < k; phase++ {
 		cand := g.candidatesSet(primary, setOf, phase)
 		for len(cand) > 0 {
+			if g.canceled() {
+				return test
+			}
 			pick := 0
 			if g.cfg.Heuristic == ValueBased {
 				pick = g.minDeltaIndex(cand, &cube)

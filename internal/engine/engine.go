@@ -1,0 +1,435 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/faultsim"
+	"repro/internal/robust"
+	"repro/internal/testio"
+)
+
+// Engine errors.
+var (
+	ErrClosed     = errors.New("engine: closed")
+	ErrBusy       = errors.New("engine: queue full")
+	ErrUnknownJob = errors.New("engine: unknown job")
+)
+
+// Config sizes the engine.
+type Config struct {
+	// Workers is the job worker pool size; 0 uses GOMAXPROCS.
+	Workers int
+	// SimWorkers is the default fault-simulation shard count of jobs
+	// that do not set Spec.Workers; 0 means serial.
+	SimWorkers int
+	// QueueDepth bounds the number of queued jobs; Submit returns
+	// ErrBusy beyond it. 0 means 64.
+	QueueDepth int
+	// CacheSize bounds the result cache entry count; 0 means 128.
+	CacheSize int
+	// DefaultTimeout bounds jobs that do not set Spec.TimeoutMS;
+	// 0 means no deadline.
+	DefaultTimeout time.Duration
+}
+
+// Engine runs jobs on a bounded worker pool. Create with New, release
+// with Close.
+type Engine struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *cache
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  chan *Job
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	seq    int64
+	jobs   map[string]*Job
+	order  []string
+}
+
+// New starts an engine with cfg's pool.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 128
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		cache:   newCache(cfg.CacheSize),
+		ctx:     ctx,
+		cancel:  cancel,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		jobs:    make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Submit validates and enqueues a job, returning it immediately.
+func (e *Engine) Submit(spec Spec) (*Job, error) {
+	spec, err := spec.normalized()
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.seq++
+	j := &Job{
+		id:      fmt.Sprintf("j%d", e.seq),
+		spec:    spec,
+		status:  StatusQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	e.jobs[j.id] = j
+	e.order = append(e.order, j.id)
+	e.mu.Unlock()
+
+	select {
+	case e.queue <- j:
+		e.metrics.jobsSubmitted.Add(1)
+		return j, nil
+	default:
+		e.mu.Lock()
+		delete(e.jobs, j.id)
+		e.order = e.order[:len(e.order)-1]
+		e.mu.Unlock()
+		return nil, ErrBusy
+	}
+}
+
+// Get returns a submitted job by ID.
+func (e *Engine) Get(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Jobs returns snapshots of all jobs in submission order.
+func (e *Engine) Jobs() []JobView {
+	e.mu.Lock()
+	ids := append([]string(nil), e.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, e.jobs[id])
+	}
+	e.mu.Unlock()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	return views
+}
+
+// Wait blocks until the job reaches a terminal status or ctx expires,
+// returning the job's snapshot.
+func (e *Engine) Wait(ctx context.Context, id string) (JobView, error) {
+	j, ok := e.Get(id)
+	if !ok {
+		return JobView{}, ErrUnknownJob
+	}
+	select {
+	case <-j.done:
+		return j.View(), nil
+	case <-ctx.Done():
+		return j.View(), ctx.Err()
+	}
+}
+
+// Cancel cancels a queued or running job. It reports whether the job
+// existed and was still cancelable.
+func (e *Engine) Cancel(id string) bool {
+	j, ok := e.Get(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	switch j.status {
+	case StatusQueued:
+		j.mu.Unlock()
+		e.metrics.jobsCanceled.Add(1)
+		j.markDone(StatusCanceled, nil, false, context.Canceled)
+		return true
+	case StatusRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	}
+	j.mu.Unlock()
+	return false
+}
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *Engine) Metrics() Snapshot {
+	return e.metrics.snapshot(e.cache.Len())
+}
+
+// CacheLen returns the number of cached results.
+func (e *Engine) CacheLen() int { return e.cache.Len() }
+
+// Close stops accepting jobs, cancels running ones, waits for the
+// workers and marks still-queued jobs canceled.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.cancel()
+	e.wg.Wait()
+	for {
+		select {
+		case j := <-e.queue:
+			e.metrics.jobsCanceled.Add(1)
+			j.markDone(StatusCanceled, nil, false, context.Canceled)
+		default:
+			return
+		}
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.ctx.Done():
+			return
+		case j := <-e.queue:
+			e.runJob(j)
+		}
+	}
+}
+
+func (e *Engine) runJob(j *Job) {
+	j.mu.Lock()
+	if j.status != StatusQueued { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(e.ctx)
+	timeout := j.spec.timeout()
+	if timeout == 0 {
+		timeout = e.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		cancel()
+		ctx, cancel = context.WithTimeout(e.ctx, timeout)
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	e.metrics.jobsRunning.Add(1)
+	res, hit, err := e.execute(ctx, j.spec)
+	e.metrics.jobsRunning.Add(-1)
+	switch {
+	case err == nil:
+		e.metrics.jobsDone.Add(1)
+		j.markDone(StatusDone, res, hit, nil)
+	case errors.Is(err, context.Canceled):
+		e.metrics.jobsCanceled.Add(1)
+		j.markDone(StatusCanceled, nil, false, err)
+	default:
+		e.metrics.jobsFailed.Add(1)
+		j.markDone(StatusFailed, nil, false, err)
+	}
+}
+
+// simWorkers resolves a job's fault-simulation shard count.
+func (e *Engine) simWorkers(spec Spec) int {
+	if spec.Workers > 0 {
+		return spec.Workers
+	}
+	if e.cfg.SimWorkers > 0 {
+		return e.cfg.SimWorkers
+	}
+	return 1
+}
+
+// execute runs one job through the prepare → cache → run → store
+// pipeline. It never stores a result for a canceled or failed run.
+func (e *Engine) execute(ctx context.Context, spec Spec) (*Result, bool, error) {
+	// Stage 1: prepare — load the circuit, enumerate and partition the
+	// fault sets.
+	t0 := time.Now()
+	c := spec.Circ
+	if c == nil {
+		var err error
+		c, err = experiments.LoadCircuit(spec.Circuit)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	d, err := experiments.PrepareCircuit(c, experiments.Params{NP: spec.NP, NP0: spec.NP0, Seed: spec.Seed})
+	if err != nil {
+		return nil, false, err
+	}
+	p0, p1 := d.P0, d.P1
+	if spec.Collapse {
+		p0 = collapseSet(p0)
+		p1 = collapseSet(p1)
+	}
+	e.metrics.observeStage("prepare", time.Since(t0))
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+
+	// Stage 2: cache lookup keyed by (circuit hash, config digest,
+	// fault-set digest).
+	circuitHash := CircuitDigest(c)
+	key := cacheKey(circuitHash, configDigest(spec), faultSetDigest(p0, p1))
+	if !spec.NoCache {
+		if res, ok := e.cache.Get(key); ok {
+			e.metrics.cacheHits.Add(1)
+			return res, true, nil
+		}
+		e.metrics.cacheMisses.Add(1)
+	}
+
+	res := &Result{
+		Kind:        spec.Kind,
+		Circuit:     c.Name,
+		CircuitHash: circuitHash,
+		FaultDigest: faultSetDigest(p0, p1),
+		CacheKey:    key,
+		Enumerated:  d.Enumerated,
+		Eliminated:  d.Eliminated,
+		I0:          d.I0,
+		P0Size:      len(d.P0),
+		P1Size:      len(d.P1),
+		P0Targets:   len(p0),
+		P1Targets:   len(p1),
+	}
+	h, err := core.ParseHeuristic(spec.Heuristic)
+	if err != nil {
+		return nil, false, err
+	}
+	cfg := core.Config{Heuristic: h, Seed: spec.Seed, UseBnB: spec.UseBnB}
+	workers := e.simWorkers(spec)
+
+	// Stage 3: run the procedure.
+	t1 := time.Now()
+	switch spec.Kind {
+	case KindGenerate:
+		gres, err := core.GenerateCtx(ctx, c, p0, cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		res.TestPatterns = gres.Tests
+		res.PrimaryAborts = gres.PrimaryAborts
+		res.P0Detected = gres.DetectedCount
+		all := d.All()
+		res.AllTotal = len(all)
+		e.metrics.observeStage("generate", time.Since(t1))
+		ts := time.Now()
+		n, err := faultsim.CountParallel(ctx, c, gres.Tests, all, workers)
+		if err != nil {
+			return nil, false, err
+		}
+		res.AllDetected = n
+		e.metrics.observeStage("simulate", time.Since(ts))
+	case KindEnrich:
+		er, err := core.EnrichCtx(ctx, c, p0, p1, cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		res.TestPatterns = er.Tests
+		res.PrimaryAborts = er.PrimaryAborts
+		res.P0Detected = er.DetectedP0Count
+		res.P1Detected = er.DetectedP1Count
+		res.AllTotal = len(p0) + len(p1)
+		res.AllDetected = er.DetectedP0Count + er.DetectedP1Count
+		e.metrics.observeStage("enrich", time.Since(t1))
+	case KindFaultSim:
+		tests, err := testio.ReadTests(strings.NewReader(strings.Join(spec.Tests, "\n")), len(c.PIs))
+		if err != nil {
+			return nil, false, err
+		}
+		all := d.All()
+		first, err := faultsim.RunParallel(ctx, c, tests, all, workers)
+		if err != nil {
+			return nil, false, err
+		}
+		res.TestPatterns = tests
+		res.FirstDetect = first
+		res.AllTotal = len(all)
+		for _, fd := range first {
+			if fd >= 0 {
+				res.Detected++
+			}
+		}
+		e.metrics.observeStage("faultsim", time.Since(t1))
+	}
+	res.Tests = make([]string, len(res.TestPatterns))
+	for i, tp := range res.TestPatterns {
+		res.Tests[i] = tp.String()
+	}
+	res.TestCount = len(res.Tests)
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+
+	// Stage 4: store. Only complete, uncanceled results reach here.
+	if !spec.NoCache {
+		e.cache.Put(key, res)
+		e.metrics.cachePuts.Add(1)
+	}
+	return res, false, nil
+}
+
+// collapseSet removes subsumed faults from a target set.
+func collapseSet(fcs []robust.FaultConditions) []robust.FaultConditions {
+	reps, subsumed := robust.Collapse(fcs)
+	if len(subsumed) == 0 {
+		return fcs
+	}
+	out := make([]robust.FaultConditions, len(reps))
+	for i, r := range reps {
+		out[i] = fcs[r]
+	}
+	return out
+}
+
+// RunJob is a synchronous convenience for programmatic callers: submit
+// and wait under ctx, returning the terminal snapshot. The job keeps
+// running if ctx expires first; cancel it explicitly for that case.
+func (e *Engine) RunJob(ctx context.Context, spec Spec) (JobView, error) {
+	j, err := e.Submit(spec)
+	if err != nil {
+		return JobView{}, err
+	}
+	return e.Wait(ctx, j.ID())
+}

@@ -1,0 +1,245 @@
+// Package engine is the concurrent job-orchestration layer over the
+// paper's procedures: ATPG (core.Generate), test enrichment
+// (core.Enrich) and fault simulation (faultsim.Run) become *jobs*
+// executed on a bounded worker pool with per-job context cancellation
+// and deadlines, sharded parallel fault simulation with deterministic
+// merge, and a result cache keyed by (circuit hash, config digest,
+// fault-set digest).
+//
+// The engine is consumed two ways: programmatically (internal/cli
+// routes pdfatpg/pdfsim runs through it, gaining a -workers flag) and
+// over HTTP (cmd/pdfd serves the JSON API of server.go).
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+// Kind selects the procedure a job runs.
+type Kind string
+
+// The three job kinds.
+const (
+	// KindGenerate runs the basic compaction procedure on P0 and
+	// measures accidental P0∪P1 detection (Tables 3-5 shape).
+	KindGenerate Kind = "generate"
+	// KindEnrich runs the enrichment procedure with target sets P0 and
+	// P1 (Table 6 shape).
+	KindEnrich Kind = "enrich"
+	// KindFaultSim fault simulates a supplied test set against the
+	// circuit's enumerated fault set.
+	KindFaultSim Kind = "faultsim"
+)
+
+// Spec describes a job. The zero values of the numeric fields select
+// the same defaults as the command-line tools.
+type Spec struct {
+	Kind Kind `json:"kind"`
+	// Circuit names the circuit (s27, c17, or a synthetic stand-in
+	// profile). Ignored when Circ is set.
+	Circuit string `json:"circuit,omitempty"`
+	// NP / NP0 / Seed are the experiment parameters (fault budget,
+	// minimum P0 size, randomization seed).
+	NP   int   `json:"np,omitempty"`
+	NP0  int   `json:"np0,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
+	// Heuristic is the compaction heuristic name (uncomp, arbit,
+	// length, values); empty means values.
+	Heuristic string `json:"heuristic,omitempty"`
+	// UseBnB switches to the deterministic branch-and-bound justifier.
+	UseBnB bool `json:"bnb,omitempty"`
+	// Collapse removes subsumed faults from the target sets before
+	// generation (coverage is still measured on the full sets).
+	Collapse bool `json:"collapse,omitempty"`
+	// Workers is the per-job fault-simulation shard count; 0 uses the
+	// engine default. Results are identical for every value (the
+	// determinism golden tests assert this).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS bounds the job's run time; 0 uses the engine default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Tests is the input test set of a faultsim job, one "p1 -> p2"
+	// line per test in the testio format.
+	Tests []string `json:"tests,omitempty"`
+	// NoCache bypasses the result cache (both lookup and store).
+	NoCache bool `json:"no_cache,omitempty"`
+
+	// Circ lets programmatic callers pass an already-built circuit
+	// (e.g. one parsed from a .bench file); HTTP callers name circuits
+	// via Circuit.
+	Circ *circuit.Circuit `json:"-"`
+}
+
+// normalized validates the spec and fills defaults.
+func (s Spec) normalized() (Spec, error) {
+	switch s.Kind {
+	case KindGenerate, KindEnrich, KindFaultSim:
+	default:
+		return s, fmt.Errorf("engine: unknown job kind %q", s.Kind)
+	}
+	if s.Circ == nil && s.Circuit == "" {
+		return s, fmt.Errorf("engine: job needs a circuit")
+	}
+	if s.Circ != nil && s.Circuit == "" {
+		s.Circuit = s.Circ.Name
+	}
+	if s.Heuristic == "" {
+		s.Heuristic = core.ValueBased.String()
+	}
+	if _, err := core.ParseHeuristic(s.Heuristic); err != nil {
+		return s, err
+	}
+	if s.Kind == KindFaultSim && len(s.Tests) == 0 {
+		return s, fmt.Errorf("engine: faultsim job needs tests")
+	}
+	if s.NP < 0 || s.NP0 < 0 || s.Workers < 0 || s.TimeoutMS < 0 {
+		return s, fmt.Errorf("engine: negative spec parameter")
+	}
+	return s, nil
+}
+
+func (s Spec) timeout() time.Duration {
+	return time.Duration(s.TimeoutMS) * time.Millisecond
+}
+
+// Result is the outcome of a completed job. It contains no wall-clock
+// fields, so equal computations marshal to identical bytes — the
+// determinism golden tests and the cache both rely on this.
+type Result struct {
+	Kind        Kind   `json:"kind"`
+	Circuit     string `json:"circuit"`
+	CircuitHash string `json:"circuit_hash"`
+	FaultDigest string `json:"fault_digest"`
+	CacheKey    string `json:"cache_key"`
+
+	// Prepare-stage shape: enumeration and P0/P1 partition.
+	Enumerated int `json:"enumerated"`
+	Eliminated int `json:"eliminated"`
+	I0         int `json:"i0"`
+	P0Size     int `json:"p0_size"`
+	P1Size     int `json:"p1_size"`
+	// P0Targets / P1Targets are the targeted set sizes after the
+	// optional collapse (equal to P0Size/P1Size otherwise).
+	P0Targets int `json:"p0_targets"`
+	P1Targets int `json:"p1_targets"`
+
+	// Generation outcome (generate and enrich kinds).
+	Tests         []string `json:"tests,omitempty"`
+	TestCount     int      `json:"test_count"`
+	PrimaryAborts int      `json:"primary_aborts"`
+	P0Detected    int      `json:"p0_detected"`
+	P1Detected    int      `json:"p1_detected"`
+	// AllDetected / AllTotal measure detection over the full P0∪P1
+	// set (accidental detection for generate jobs).
+	AllDetected int `json:"all_detected"`
+	AllTotal    int `json:"all_total"`
+
+	// FaultSim outcome: per-fault first detecting test index (-1 if
+	// undetected) and the detected count.
+	FirstDetect []int `json:"first_detect,omitempty"`
+	Detected    int   `json:"detected,omitempty"`
+
+	// TestPatterns mirrors Tests in parsed form for programmatic
+	// consumers; not part of the serialized report.
+	TestPatterns []circuit.TwoPattern `json:"-"`
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job statuses. Queued and Running are transient; the rest are
+// terminal.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Job is one submitted unit of work. All fields are guarded by mu;
+// read them through View.
+type Job struct {
+	id   string
+	spec Spec
+
+	mu       sync.Mutex
+	status   Status
+	err      error
+	result   *Result
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   func()
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// ID returns the job's engine-unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal
+// status.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobView is a consistent snapshot of a job, safe to marshal.
+type JobView struct {
+	ID       string  `json:"id"`
+	Kind     Kind    `json:"kind"`
+	Circuit  string  `json:"circuit"`
+	Status   Status  `json:"status"`
+	Error    string  `json:"error,omitempty"`
+	CacheHit bool    `json:"cache_hit"`
+	QueuedMS float64 `json:"queued_ms"`
+	RunMS    float64 `json:"run_ms"`
+	Result   *Result `json:"result,omitempty"`
+}
+
+// View snapshots the job.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:       j.id,
+		Kind:     j.spec.Kind,
+		Circuit:  j.spec.Circuit,
+		Status:   j.status,
+		CacheHit: j.cacheHit,
+		Result:   j.result,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		v.QueuedMS = float64(j.started.Sub(j.created)) / float64(time.Millisecond)
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		v.RunMS = float64(end.Sub(j.started)) / float64(time.Millisecond)
+	}
+	return v
+}
+
+// markDone transitions the job to a terminal status exactly once.
+func (j *Job) markDone(st Status, res *Result, hit bool, err error) {
+	j.mu.Lock()
+	j.status = st
+	j.result = res
+	j.cacheHit = hit
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.doneOnce.Do(func() { close(j.done) })
+}

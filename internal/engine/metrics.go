@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the engine's operational counters. All methods are
+// safe for concurrent use.
+type Metrics struct {
+	jobsSubmitted atomic.Int64
+	jobsRunning   atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	cachePuts     atomic.Int64
+
+	mu     sync.Mutex
+	stages map[string]*stageStat
+}
+
+type stageStat struct {
+	count int64
+	total time.Duration
+	max   time.Duration
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{stages: make(map[string]*stageStat)}
+}
+
+// observeStage records one execution of a named pipeline stage.
+func (m *Metrics) observeStage(name string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stages[name]
+	if st == nil {
+		st = &stageStat{}
+		m.stages[name] = st
+	}
+	st.count++
+	st.total += d
+	if d > st.max {
+		st.max = d
+	}
+}
+
+// StageSnapshot is the exported view of one stage's latency counters.
+type StageSnapshot struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	AvgMS   float64 `json:"avg_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// Snapshot is a consistent copy of all counters, ready to marshal as
+// the /metrics payload.
+type Snapshot struct {
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsQueued    int64 `json:"jobs_queued"`
+	JobsRunning   int64 `json:"jobs_running"`
+	JobsDone      int64 `json:"jobs_done"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCanceled  int64 `json:"jobs_canceled"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	CachePuts     int64 `json:"cache_puts"`
+	CacheLen      int   `json:"cache_len"`
+	// Stages reports per-stage latency (prepare, generate, enrich,
+	// faultsim, simulate).
+	Stages map[string]StageSnapshot `json:"stages"`
+}
+
+func (m *Metrics) snapshot(cacheLen int) Snapshot {
+	s := Snapshot{
+		JobsSubmitted: m.jobsSubmitted.Load(),
+		JobsRunning:   m.jobsRunning.Load(),
+		JobsDone:      m.jobsDone.Load(),
+		JobsFailed:    m.jobsFailed.Load(),
+		JobsCanceled:  m.jobsCanceled.Load(),
+		CacheHits:     m.cacheHits.Load(),
+		CacheMisses:   m.cacheMisses.Load(),
+		CachePuts:     m.cachePuts.Load(),
+		CacheLen:      cacheLen,
+		Stages:        make(map[string]StageSnapshot),
+	}
+	s.JobsQueued = s.JobsSubmitted - s.JobsRunning - s.JobsDone - s.JobsFailed - s.JobsCanceled
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, st := range m.stages {
+		snap := StageSnapshot{
+			Count:   st.count,
+			TotalMS: float64(st.total) / float64(time.Millisecond),
+			MaxMS:   float64(st.max) / float64(time.Millisecond),
+		}
+		if st.count > 0 {
+			snap.AvgMS = snap.TotalMS / float64(st.count)
+		}
+		s.Stages[name] = snap
+	}
+	return s
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// NewServer returns the JSON API handler served by cmd/pdfd:
+//
+//	POST   /jobs       submit a job (body: Spec) → 202 JobView
+//	GET    /jobs       list all jobs
+//	GET    /jobs/{id}  job snapshot; ?wait=5s blocks until terminal
+//	DELETE /jobs/{id}  cancel a queued or running job
+//	GET    /healthz    liveness probe
+//	GET    /metrics    engine counters (Snapshot)
+func NewServer(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+			return
+		}
+		j, err := e.Submit(spec)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusAccepted, j.View())
+		case errors.Is(err, ErrBusy):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			httpError(w, http.StatusBadRequest, err.Error())
+		}
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Jobs())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		j, ok := e.Get(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job "+id)
+			return
+		}
+		if waitArg := r.URL.Query().Get("wait"); waitArg != "" {
+			d, err := time.ParseDuration(waitArg)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad wait duration: "+err.Error())
+				return
+			}
+			select {
+			case <-j.Done():
+			case <-time.After(d):
+			case <-r.Context().Done():
+			}
+		}
+		writeJSON(w, http.StatusOK, j.View())
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, ok := e.Get(id); !ok {
+			httpError(w, http.StatusNotFound, "unknown job "+id)
+			return
+		}
+		canceled := e.Cancel(id)
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "canceled": canceled})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Metrics())
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg})
+}

@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*Engine, *httptest.Server) {
+	t.Helper()
+	e := New(Config{Workers: 2, SimWorkers: 4})
+	srv := httptest.NewServer(NewServer(e))
+	t.Cleanup(func() {
+		srv.Close()
+		e.Close()
+	})
+	return e, srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, readBody(t, resp)
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("bad JSON from %s: %v\n%s", url, err, body)
+		}
+	}
+	return resp
+}
+
+func readBody(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The acceptance flow: submit an enrichment job over HTTP, poll it,
+// fetch the result, resubmit and get the cached answer.
+func TestServerEnrichmentEndToEnd(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	resp, body := postJSON(t, srv.URL+"/jobs", map[string]any{
+		"kind": "enrich", "circuit": "s27", "np0": 10, "seed": 1,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d: %s", resp.StatusCode, body)
+	}
+	var submitted JobView
+	if err := json.Unmarshal(body, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	if submitted.ID == "" {
+		t.Fatalf("no job id in %s", body)
+	}
+
+	// Poll until terminal (the ?wait form blocks server-side).
+	var done JobView
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, srv.URL+"/jobs/"+submitted.ID+"?wait=2s", &done)
+		if done.Status.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", done.Status)
+		}
+	}
+	if done.Status != StatusDone {
+		t.Fatalf("job %s: %s", done.Status, done.Error)
+	}
+	r := done.Result
+	if r == nil || r.TestCount == 0 || r.P0Detected == 0 || r.AllTotal == 0 {
+		t.Fatalf("implausible result over HTTP: %+v", r)
+	}
+	for _, line := range r.Tests {
+		if !strings.Contains(line, "->") {
+			t.Fatalf("malformed test line %q", line)
+		}
+	}
+
+	// Identical resubmission: answered from cache, visible in metrics.
+	_, body = postJSON(t, srv.URL+"/jobs", map[string]any{
+		"kind": "enrich", "circuit": "s27", "np0": 10, "seed": 1,
+	})
+	var again JobView
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, srv.URL+"/jobs/"+again.ID+"?wait=20s", &again)
+	if again.Status != StatusDone || !again.CacheHit {
+		t.Fatalf("resubmission: status %s cache_hit %t", again.Status, again.CacheHit)
+	}
+	var m Snapshot
+	getJSON(t, srv.URL+"/metrics", &m)
+	if m.CacheHits < 1 {
+		t.Errorf("metrics cache_hits = %d, want >= 1", m.CacheHits)
+	}
+	if m.JobsDone < 2 {
+		t.Errorf("metrics jobs_done = %d, want >= 2", m.JobsDone)
+	}
+	if _, ok := m.Stages["enrich"]; !ok {
+		t.Errorf("metrics missing enrich stage latency: %v", m.Stages)
+	}
+	if _, ok := m.Stages["prepare"]; !ok {
+		t.Errorf("metrics missing prepare stage latency: %v", m.Stages)
+	}
+}
+
+func TestServerHealthAndListing(t *testing.T) {
+	_, srv := newTestServer(t)
+	var health map[string]any
+	resp := getJSON(t, srv.URL+"/healthz", &health)
+	if resp.StatusCode != http.StatusOK || health["status"] != "ok" {
+		t.Errorf("healthz: %d %v", resp.StatusCode, health)
+	}
+	_, body := postJSON(t, srv.URL+"/jobs", map[string]any{
+		"kind": "generate", "circuit": "s27", "np0": 10,
+	})
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, srv.URL+"/jobs/"+v.ID+"?wait=20s", &v)
+	var list []JobView
+	getJSON(t, srv.URL+"/jobs", &list)
+	if len(list) != 1 || list[0].ID != v.ID {
+		t.Errorf("GET /jobs listed %+v", list)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	// Invalid spec → 400.
+	resp, _ := postJSON(t, srv.URL+"/jobs", map[string]any{"kind": "explode", "circuit": "s27"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad kind = %d, want 400", resp.StatusCode)
+	}
+	// Unknown field → 400 (DisallowUnknownFields).
+	resp, _ = postJSON(t, srv.URL+"/jobs", map[string]any{"kind": "generate", "circuit": "s27", "bogus": 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field = %d, want 400", resp.StatusCode)
+	}
+	// Unknown job → 404.
+	if resp := getJSON(t, srv.URL+"/jobs/j999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", resp.StatusCode)
+	}
+	// Bad wait duration → 400.
+	_, body := postJSON(t, srv.URL+"/jobs", map[string]any{"kind": "generate", "circuit": "s27", "np0": 10})
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if resp := getJSON(t, srv.URL+"/jobs/"+v.ID+"?wait=never", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad wait = %d, want 400", resp.StatusCode)
+	}
+	// DELETE unknown → 404.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/j999", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, dresp)
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown = %d, want 404", dresp.StatusCode)
+	}
+}
+
+func TestServerCancelJob(t *testing.T) {
+	_, srv := newTestServer(t)
+	_, body := postJSON(t, srv.URL+"/jobs", map[string]any{
+		"kind": "enrich", "circuit": "s1423", "np": 2000, "np0": 300, "seed": 1,
+	})
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+v.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := readBody(t, dresp)
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d: %s", dresp.StatusCode, b)
+	}
+	getJSON(t, fmt.Sprintf("%s/jobs/%s?wait=5s", srv.URL, v.ID), &v)
+	if v.Status != StatusCanceled {
+		t.Errorf("status after cancel = %s", v.Status)
+	}
+}

@@ -33,27 +33,32 @@ func Detects(c *circuit.Circuit, test circuit.TwoPattern, fc *robust.FaultCondit
 
 // Run simulates every test against every fault and returns, for each
 // fault, the index of the first detecting test (-1 if none). Each
-// fault is dropped after its first detection.
+// fault is dropped after its first detection: detected faults are
+// removed from the scan list, so a fault detected by test t costs
+// nothing for tests after t.
 func Run(c *circuit.Circuit, tests []circuit.TwoPattern, fcs []robust.FaultConditions) []int {
 	firstDet := make([]int, len(fcs))
 	for i := range firstDet {
 		firstDet[i] = -1
 	}
-	remaining := len(fcs)
+	active := make([]int, len(fcs))
+	for i := range active {
+		active[i] = i
+	}
 	for ti := range tests {
-		if remaining == 0 {
+		if len(active) == 0 {
 			break
 		}
 		sim := tests[ti].Simulate(c)
-		for fi := range fcs {
-			if firstDet[fi] >= 0 {
-				continue
-			}
+		kept := active[:0]
+		for _, fi := range active {
 			if DetectsSim(&fcs[fi], sim) {
 				firstDet[fi] = ti
-				remaining--
+			} else {
+				kept = append(kept, fi)
 			}
 		}
+		active = kept
 	}
 	return firstDet
 }

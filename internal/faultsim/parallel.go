@@ -1,0 +1,112 @@
+package faultsim
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/circuit"
+	"repro/internal/robust"
+	"repro/internal/tval"
+)
+
+// faultChunk is the number of faults a worker claims at a time in the
+// sharded scan; large enough to amortize the atomic fetch, small enough
+// to balance uneven per-fault costs.
+const faultChunk = 64
+
+// RunParallel is Run sharded across workers. The test simulations are
+// computed first (each test is independent), then the fault list is
+// split into chunks scanned concurrently, each fault short-circuiting
+// at its first detecting test. Workers write disjoint slots of the
+// result, so the output is byte-identical to the serial Run regardless
+// of scheduling. workers <= 0 uses GOMAXPROCS; workers == 1 falls back
+// to the serial path.
+//
+// RunParallel returns ctx.Err() if the context is canceled before the
+// scan completes; cancellation is observed between tests and between
+// fault chunks.
+func RunParallel(ctx context.Context, c *circuit.Circuit, tests []circuit.TwoPattern, fcs []robust.FaultConditions, workers int) ([]int, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n := len(tests); workers > n && n > 0 {
+		workers = n
+	}
+	if workers <= 1 || len(fcs) == 0 || len(tests) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return Run(c, tests, fcs), nil
+	}
+
+	// Stage 1: simulate all tests concurrently.
+	sims := make([][]tval.Triple, len(tests))
+	var nextTest atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				ti := int(nextTest.Add(1)) - 1
+				if ti >= len(tests) {
+					return
+				}
+				sims[ti] = tests[ti].Simulate(c)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Stage 2: scan fault chunks; each fault stops at its first
+	// detecting test.
+	firstDet := make([]int, len(fcs))
+	var nextFault atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				start := int(nextFault.Add(faultChunk)) - faultChunk
+				if start >= len(fcs) {
+					return
+				}
+				end := min(start+faultChunk, len(fcs))
+				for fi := start; fi < end; fi++ {
+					firstDet[fi] = -1
+					for ti := range sims {
+						if DetectsSim(&fcs[fi], sims[ti]) {
+							firstDet[fi] = ti
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return firstDet, nil
+}
+
+// CountParallel is Count over the sharded parallel path.
+func CountParallel(ctx context.Context, c *circuit.Circuit, tests []circuit.TwoPattern, fcs []robust.FaultConditions, workers int) (int, error) {
+	first, err := RunParallel(ctx, c, tests, fcs, workers)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, d := range first {
+		if d >= 0 {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,138 @@
+package faultsim
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/pathenum"
+	"repro/internal/robust"
+	"repro/internal/synth"
+	"repro/internal/tval"
+)
+
+// simSetup enumerates and screens the faults of a synthetic benchmark
+// and builds a deterministic random test set.
+func simSetup(tb testing.TB, profile string, np, nTests int) (*circuit.Circuit, []circuit.TwoPattern, []robust.FaultConditions) {
+	tb.Helper()
+	c, err := synth.Benchmark(profile)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := pathenum.Enumerate(c, pathenum.Config{MaxFaults: np, Mode: pathenum.DistancePruned})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	kept, _ := robust.Screen(c, res.Faults)
+	rng := rand.New(rand.NewSource(7))
+	tests := make([]circuit.TwoPattern, nTests)
+	for i := range tests {
+		tp := circuit.TwoPattern{
+			P1: make([]tval.V, len(c.PIs)),
+			P3: make([]tval.V, len(c.PIs)),
+		}
+		for k := range tp.P1 {
+			tp.P1[k] = tval.V(rng.Intn(2))
+			tp.P3[k] = tval.V(rng.Intn(2))
+		}
+		tests[i] = tp
+	}
+	return c, tests, kept
+}
+
+// runNaive is the pre-fix Run: already-detected faults are skipped
+// with a per-test check but stay in the scan list. Kept as the
+// benchmark baseline for the short-circuit win.
+func runNaive(c *circuit.Circuit, tests []circuit.TwoPattern, fcs []robust.FaultConditions) []int {
+	firstDet := make([]int, len(fcs))
+	for i := range firstDet {
+		firstDet[i] = -1
+	}
+	remaining := len(fcs)
+	for ti := range tests {
+		if remaining == 0 {
+			break
+		}
+		sim := tests[ti].Simulate(c)
+		for fi := range fcs {
+			if firstDet[fi] >= 0 {
+				continue
+			}
+			if DetectsSim(&fcs[fi], sim) {
+				firstDet[fi] = ti
+				remaining--
+			}
+		}
+	}
+	return firstDet
+}
+
+func TestRunMatchesNaive(t *testing.T) {
+	c, tests, fcs := simSetup(t, "s641", 400, 64)
+	want := runNaive(c, tests, fcs)
+	got := Run(c, tests, fcs)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("short-circuit Run diverges from reference")
+	}
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	c, tests, fcs := simSetup(t, "s641", 400, 64)
+	want := Run(c, tests, fcs)
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		got, err := RunParallel(context.Background(), c, tests, fcs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: parallel result diverges from serial", workers)
+		}
+	}
+	n, err := CountParallel(context.Background(), c, tests, fcs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := Count(c, tests, fcs)
+	if n != want2 {
+		t.Errorf("CountParallel = %d, want %d", n, want2)
+	}
+}
+
+func TestRunParallelCanceled(t *testing.T) {
+	c, tests, fcs := simSetup(t, "s641", 400, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunParallel(ctx, c, tests, fcs, 4); err != context.Canceled {
+		t.Errorf("canceled RunParallel err = %v, want context.Canceled", err)
+	}
+	// The serial fallback must also observe cancellation.
+	if _, err := RunParallel(ctx, c, tests, fcs, 1); err != context.Canceled {
+		t.Errorf("canceled serial fallback err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunParallelEmpty(t *testing.T) {
+	c, tests, fcs := simSetup(t, "s641", 400, 4)
+	if got, err := RunParallel(context.Background(), c, nil, fcs, 4); err != nil || len(got) != len(fcs) {
+		t.Errorf("no tests: got %d results, err %v", len(got), err)
+	}
+	if got, err := RunParallel(context.Background(), c, tests, nil, 4); err != nil || len(got) != 0 {
+		t.Errorf("no faults: got %d results, err %v", len(got), err)
+	}
+}
+
+// BenchmarkRunParallel4 exercises the sharded path end to end; on
+// multi-core hosts it parallelizes the dominant per-test simulation
+// cost. (The short-circuit win of Run itself is benchmarked in
+// shortcircuit_bench_test.go on a generated-test workload.)
+func BenchmarkRunParallel4(b *testing.B) {
+	c, tests, fcs := simSetup(b, "s1423", 1000, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunParallel(context.Background(), c, tests, fcs, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
