@@ -24,7 +24,7 @@ func PDFATPG(args []string, stdout, stderr io.Writer) error {
 	var (
 		np        = fs.Int("np", 2000, "N_P: fault budget for path enumeration")
 		np0       = fs.Int("np0", 300, "N_P0: minimum size of the first target set")
-		heuristic = fs.String("heuristic", "values", "compaction heuristic: uncomp, arbit, length, values")
+		heuristic = fs.String("heuristic", "values", "compaction heuristic for basic generation: uncomp, arbit, length, values (enrichment always uses values)")
 		enrich    = fs.Bool("enrich", false, "run the test enrichment procedure (P0 and P1)")
 		useBnB    = fs.Bool("bnb", false, "use the branch-and-bound justification backend")
 		tdfMode   = fs.Bool("tdf", false, "generate transition fault tests instead (extension)")
@@ -72,6 +72,10 @@ func PDFATPG(args []string, stdout, stderr io.Writer) error {
 	}
 	if *enrich {
 		spec.Kind = engine.KindEnrich
+		// -heuristic applies to basic generation only; enrichment always
+		// runs the paper's value-based ordering, matching the pre-engine
+		// CLI (which never passed the flag into core.Enrich).
+		spec.Heuristic = core.ValueBased.String()
 	}
 	eng := engine.New(engine.Config{Workers: 1, SimWorkers: *workers, CacheSize: 4})
 	defer eng.Close()

@@ -106,21 +106,25 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 		created: time.Now(),
 		done:    make(chan struct{}),
 	}
-	e.jobs[j.id] = j
-	e.order = append(e.order, j.id)
-	e.mu.Unlock()
-
+	// Registration and enqueue share one critical section: a rejected
+	// job leaves no trace in jobs/order, and a job never lands in the
+	// queue after Close (which flips closed under the same mutex) has
+	// started draining. jobsSubmitted is bumped before the send so the
+	// derived queued gauge never goes negative if a worker finishes the
+	// job immediately.
+	e.metrics.jobsSubmitted.Add(1)
 	select {
 	case e.queue <- j:
-		e.metrics.jobsSubmitted.Add(1)
-		return j, nil
 	default:
-		e.mu.Lock()
-		delete(e.jobs, j.id)
-		e.order = e.order[:len(e.order)-1]
+		e.metrics.jobsSubmitted.Add(-1)
+		e.seq--
 		e.mu.Unlock()
 		return nil, ErrBusy
 	}
+	e.jobs[j.id] = j
+	e.order = append(e.order, j.id)
+	e.mu.Unlock()
+	return j, nil
 }
 
 // Get returns a submitted job by ID.
@@ -169,23 +173,21 @@ func (e *Engine) Cancel(id string) bool {
 	if !ok {
 		return false
 	}
-	j.mu.Lock()
-	switch j.status {
-	case StatusQueued:
-		j.mu.Unlock()
+	if j.cancelQueued() {
 		e.metrics.jobsCanceled.Add(1)
-		j.markDone(StatusCanceled, nil, false, context.Canceled)
-		return true
-	case StatusRunning:
-		cancel := j.cancel
-		j.mu.Unlock()
-		if cancel != nil {
-			cancel()
-		}
 		return true
 	}
+	j.mu.Lock()
+	running := j.status == StatusRunning
+	cancel := j.cancel
 	j.mu.Unlock()
-	return false
+	if !running {
+		return false
+	}
+	if cancel != nil {
+		cancel()
+	}
+	return true
 }
 
 // Metrics returns a snapshot of the engine's counters.
@@ -211,8 +213,9 @@ func (e *Engine) Close() {
 	for {
 		select {
 		case j := <-e.queue:
-			e.metrics.jobsCanceled.Add(1)
-			j.markDone(StatusCanceled, nil, false, context.Canceled)
+			if j.markDone(StatusCanceled, nil, false, context.Canceled) {
+				e.metrics.jobsCanceled.Add(1)
+			}
 		default:
 			return
 		}
@@ -257,14 +260,17 @@ func (e *Engine) runJob(j *Job) {
 	e.metrics.jobsRunning.Add(-1)
 	switch {
 	case err == nil:
-		e.metrics.jobsDone.Add(1)
-		j.markDone(StatusDone, res, hit, nil)
+		if j.markDone(StatusDone, res, hit, nil) {
+			e.metrics.jobsDone.Add(1)
+		}
 	case errors.Is(err, context.Canceled):
-		e.metrics.jobsCanceled.Add(1)
-		j.markDone(StatusCanceled, nil, false, err)
+		if j.markDone(StatusCanceled, nil, false, err) {
+			e.metrics.jobsCanceled.Add(1)
+		}
 	default:
-		e.metrics.jobsFailed.Add(1)
-		j.markDone(StatusFailed, nil, false, err)
+		if j.markDone(StatusFailed, nil, false, err) {
+			e.metrics.jobsFailed.Add(1)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -232,9 +233,16 @@ func (j *Job) View() JobView {
 	return v
 }
 
-// markDone transitions the job to a terminal status exactly once.
-func (j *Job) markDone(st Status, res *Result, hit bool, err error) {
+// markDone transitions the job to a terminal status. It reports whether
+// this call performed the transition; a job that is already terminal is
+// left untouched, so two racing finishers (e.g. Cancel and a worker)
+// cannot overwrite each other's terminal state or double-count metrics.
+func (j *Job) markDone(st Status, res *Result, hit bool, err error) bool {
 	j.mu.Lock()
+	if j.status.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
 	j.status = st
 	j.result = res
 	j.cacheHit = hit
@@ -242,4 +250,23 @@ func (j *Job) markDone(st Status, res *Result, hit bool, err error) {
 	j.finished = time.Now()
 	j.mu.Unlock()
 	j.doneOnce.Do(func() { close(j.done) })
+	return true
+}
+
+// cancelQueued moves a still-queued job to Canceled atomically under
+// j.mu, so a worker that dequeues it afterwards observes a terminal
+// status and skips it — the job can never be both canceled and run. It
+// reports whether the transition happened.
+func (j *Job) cancelQueued() bool {
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.status = StatusCanceled
+	j.err = context.Canceled
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.doneOnce.Do(func() { close(j.done) })
+	return true
 }

@@ -31,9 +31,6 @@ func RunParallel(ctx context.Context, c *circuit.Circuit, tests []circuit.TwoPat
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if n := len(tests); workers > n && n > 0 {
-		workers = n
-	}
 	if workers <= 1 || len(fcs) == 0 || len(tests) == 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -41,11 +38,15 @@ func RunParallel(ctx context.Context, c *circuit.Circuit, tests []circuit.TwoPat
 		return Run(c, tests, fcs), nil
 	}
 
-	// Stage 1: simulate all tests concurrently.
+	// Stage 1: simulate all tests concurrently. The pool is clamped per
+	// stage — here by test count, below by fault-chunk count — so a
+	// workload with few tests but many faults still scans faults at
+	// full parallelism.
+	simWorkers := min(workers, len(tests))
 	sims := make([][]tval.Triple, len(tests))
 	var nextTest atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < simWorkers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -65,9 +66,10 @@ func RunParallel(ctx context.Context, c *circuit.Circuit, tests []circuit.TwoPat
 
 	// Stage 2: scan fault chunks; each fault stops at its first
 	// detecting test.
+	scanWorkers := min(workers, (len(fcs)+faultChunk-1)/faultChunk)
 	firstDet := make([]int, len(fcs))
 	var nextFault atomic.Int64
-	for w := 0; w < workers; w++ {
+	for w := 0; w < scanWorkers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
