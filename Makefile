@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check bench engine-bench
+.PHONY: build test race check chaos bench engine-bench
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,12 @@ test: build
 # Engine tests under the race detector (cheap; always part of check).
 race:
 	$(GO) test -race ./internal/engine/... ./internal/faultsim/...
+
+# The fault-injection suite: panic containment, retry/backoff, crash +
+# journal replay, load shedding — twice under the race detector.
+chaos:
+	$(GO) test -race -count=2 -run 'TestChaos|TestWait|TestRetry|TestDo|TestDelay|TestJournal|TestLive|TestOpen' \
+		./internal/engine/ ./internal/journal/ ./internal/retry/
 
 # The CI gate: vet + build + full suite under -race.
 check:

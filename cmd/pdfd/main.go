@@ -3,10 +3,19 @@
 // jobs with per-job deadlines, sharded parallel fault simulation and a
 // result cache keyed by (circuit hash, config, fault-set digest).
 //
+// The engine is crash-safe: job panics are contained and retried with
+// backoff (-max-retries), submissions past the -shed-watermark are
+// shed with 503 before the queue hard-fills, and with -journal the job
+// lifecycle is written to a durable WAL — a restart on the same
+// directory replays whatever was queued or running when the process
+// died. SIGINT/SIGTERM drain running jobs for up to -drain before
+// exiting.
+//
 // Usage:
 //
 //	pdfd [-addr :8344] [-workers 0] [-sim-workers 4] [-queue 64]
-//	     [-cache 128] [-timeout 10m]
+//	     [-cache 128] [-timeout 10m] [-max-retries 0]
+//	     [-shed-watermark 0] [-journal DIR] [-drain 30s]
 //
 // Endpoints:
 //
@@ -14,8 +23,8 @@
 //	GET    /jobs       list jobs
 //	GET    /jobs/{id}  poll a job; ?wait=5s blocks until it finishes
 //	DELETE /jobs/{id}  cancel a job
-//	GET    /healthz    liveness probe
-//	GET    /metrics    queue/cache/latency counters
+//	GET    /healthz    liveness probe; 503 "overloaded" past the watermark
+//	GET    /metrics    queue/cache/latency/resilience counters
 //
 // See the README section "Running as a service" for curl examples.
 package main

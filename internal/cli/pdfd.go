@@ -1,17 +1,25 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/journal"
 )
 
 // PDFD implements cmd/pdfd: the HTTP job server over the enrichment
-// engine. It blocks serving until the listener fails.
+// engine. It blocks serving until the listener fails or a SIGINT /
+// SIGTERM arrives; on a signal it stops accepting work, lets running
+// jobs drain for up to -drain, and leaves anything unfinished in the
+// journal (if one is configured) to be replayed by the next start.
 func PDFD(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("pdfd", stderr)
 	var (
@@ -21,22 +29,75 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 		queue      = fs.Int("queue", 64, "maximum queued jobs (submissions beyond it get 503)")
 		cacheSize  = fs.Int("cache", 128, "result cache entries")
 		timeout    = fs.Duration("timeout", 10*time.Minute, "default per-job deadline (0 = none)")
+		maxRetries = fs.Int("max-retries", 0, "default retry budget for jobs that panic or fail transiently")
+		shed       = fs.Int("shed-watermark", 0, "queue depth at which submissions are shed with 503 before the queue is full (0 = disabled)")
+		journalDir = fs.String("journal", "", "directory of the durable job journal; queued and running jobs survive a crash and replay on restart (empty = no journal)")
+		drain      = fs.Duration("drain", 30*time.Second, "graceful shutdown: how long running jobs may finish after a signal")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	eng := engine.New(engine.Config{
+	cfg := engine.Config{
 		Workers:        *workers,
 		SimWorkers:     *simWorkers,
 		QueueDepth:     *queue,
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *timeout,
-	})
-	defer eng.Close()
+		MaxRetries:     *maxRetries,
+		ShedWatermark:  *shed,
+	}
+	var replay []journal.Record
+	if *journalDir != "" {
+		log, recs, err := journal.Open(*journalDir)
+		if err != nil {
+			return err
+		}
+		defer log.Close()
+		cfg.Journal = log
+		replay = recs
+	}
+	eng := engine.New(cfg)
+	if *journalDir != "" {
+		n, err := eng.Restore(replay)
+		if err != nil {
+			eng.Close()
+			return fmt.Errorf("replaying journal: %w", err)
+		}
+		fmt.Fprintf(stdout, "pdfd: journal %s replayed, %d jobs re-enqueued\n", *journalDir, n)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		eng.Close()
 		return err
 	}
 	fmt.Fprintf(stdout, "pdfd listening on %s\n", ln.Addr())
-	return http.Serve(ln, engine.NewServer(eng))
+	srv := &http.Server{Handler: engine.NewServer(eng)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	select {
+	case err := <-serveErr:
+		eng.Close()
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(stdout, "pdfd: %s, draining running jobs for up to %s\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		srv.Shutdown(ctx)
+		err := eng.Shutdown(ctx)
+		switch {
+		case err == nil:
+			fmt.Fprintln(stdout, "pdfd: drained cleanly")
+		case *journalDir != "":
+			fmt.Fprintf(stdout, "pdfd: drain incomplete (%v); unfinished jobs stay journaled for replay\n", err)
+		default:
+			fmt.Fprintf(stdout, "pdfd: drain incomplete (%v); unfinished jobs canceled\n", err)
+		}
+		return nil
+	}
 }

@@ -2,8 +2,14 @@ package cli
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
+	"regexp"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestPDFDBadFlags(t *testing.T) {
@@ -17,6 +23,134 @@ func TestPDFDBadFlags(t *testing.T) {
 	}, "-addr", "999.999.999.999:0"); err == nil {
 		t.Error("unlistenable address must fail")
 	}
+	if _, _, err := run(t, func(a []string, o, e *bytes.Buffer) error {
+		return PDFD(a, o, e)
+	}, "-journal", "/dev/null/not-a-dir", "-addr", "127.0.0.1:0"); err == nil {
+		t.Error("unusable journal dir must fail")
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the PDFD goroutine and the
+// test to share.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startPDFD boots the daemon on an ephemeral port and returns its base
+// URL and a channel carrying its exit error.
+func startPDFD(t *testing.T, out *syncBuffer, extraArgs ...string) (string, chan error) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, extraArgs...)
+	exit := make(chan error, 1)
+	go func() {
+		var errb bytes.Buffer
+		exit <- PDFD(args, out, &errb)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], exit
+		}
+		select {
+		case err := <-exit:
+			t.Fatalf("pdfd exited before listening: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pdfd never started listening:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// stopPDFD delivers the shutdown signal and waits for a clean exit.
+func stopPDFD(t *testing.T, exit chan error) {
+	t.Helper()
+	// PDFD traps SIGTERM via signal.Notify, so signaling our own
+	// process reaches its handler without killing the test binary.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("pdfd exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pdfd did not exit on SIGTERM")
+	}
+}
+
+// Full daemon lifecycle: boot with a journal, run a job over HTTP,
+// drain on SIGTERM, boot again on the same journal — nothing left to
+// replay, and the new flags all round-trip.
+func TestPDFDLifecycleWithJournal(t *testing.T) {
+	dir := t.TempDir()
+	var out syncBuffer
+	base, exit := startPDFD(t, &out,
+		"-journal", dir, "-max-retries", "2", "-shed-watermark", "32", "-drain", "30s")
+	if !strings.Contains(out.String(), "replayed, 0 jobs") {
+		t.Errorf("fresh journal replay banner missing:\n%s", out.String())
+	}
+
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"enrich","circuit":"s27","np0":10,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || v.ID == "" {
+		t.Fatalf("submit = %d %+v", resp.StatusCode, v)
+	}
+	resp, err = http.Get(base + "/jobs/" + v.ID + "?wait=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&done); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if done.Status != "done" {
+		t.Fatalf("job status = %s, want done", done.Status)
+	}
+
+	stopPDFD(t, exit)
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Errorf("graceful drain banner missing:\n%s", out.String())
+	}
+
+	// Second incarnation on the same journal: the finished job must
+	// not replay.
+	var out2 syncBuffer
+	_, exit2 := startPDFD(t, &out2, "-journal", dir)
+	if !strings.Contains(out2.String(), "replayed, 0 jobs") {
+		t.Errorf("clean journal replayed jobs:\n%s", out2.String())
+	}
+	stopPDFD(t, exit2)
 }
 
 // The -workers flag must not change any byte of the report: the CLI

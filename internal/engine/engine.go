@@ -2,16 +2,22 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faultsim"
+	"repro/internal/journal"
+	"repro/internal/retry"
 	"repro/internal/robust"
 	"repro/internal/testio"
 )
@@ -20,8 +26,20 @@ import (
 var (
 	ErrClosed     = errors.New("engine: closed")
 	ErrBusy       = errors.New("engine: queue full")
+	ErrOverloaded = errors.New("engine: overloaded, retry later")
 	ErrUnknownJob = errors.New("engine: unknown job")
 )
+
+// PanicError is a panic captured from a job attempt by the engine's
+// per-job recover. It is confined to the job: the worker goroutine,
+// the other jobs and the process survive, and the job is retried if it
+// has budget left.
+type PanicError struct {
+	Value string // the panic value, stringified
+	Stack string // the goroutine stack at the panic site
+}
+
+func (p *PanicError) Error() string { return "engine: job panicked: " + p.Value }
 
 // Config sizes the engine.
 type Config struct {
@@ -38,19 +56,59 @@ type Config struct {
 	// DefaultTimeout bounds jobs that do not set Spec.TimeoutMS;
 	// 0 means no deadline.
 	DefaultTimeout time.Duration
+
+	// MaxRetries is the default retry budget of jobs that do not set
+	// Spec.MaxRetries: an attempt that panics or fails with a
+	// non-cancellation error is re-queued with backoff up to this
+	// many times before the job goes to StatusFailed. 0 means a
+	// first failure is final.
+	MaxRetries int
+	// RetryPolicy shapes the backoff between retries; zero fields use
+	// the retry package defaults (100ms base, 30s cap, 2x growth,
+	// ±20% jitter).
+	RetryPolicy retry.Policy
+
+	// ShedWatermark is the queue depth at which the engine starts
+	// shedding new submissions with ErrOverloaded, before the queue
+	// is hard-full (ErrBusy at QueueDepth). Shedding stops once the
+	// queue drains to half the watermark (hysteresis). 0 disables
+	// shedding.
+	ShedWatermark int
+
+	// Journal, when set, receives every job lifecycle transition as a
+	// durable WAL record; Restore replays a reopened journal after a
+	// crash. Engine-shutdown cancellations are deliberately not
+	// journaled, so interrupted jobs stay live on disk and re-run on
+	// restart. nil disables journaling.
+	Journal *journal.Log
+	// JournalCompactEvery paces journal compaction: after this many
+	// appended records the log is rewritten to just the live jobs.
+	// 0 means 256.
+	JournalCompactEvery int
+
+	// Injector, when set, is invoked at named pipeline sites; the
+	// chaos tests use it to inject panics, latency and simulated
+	// crashes (see chaos.go). nil disables injection.
+	Injector FaultInjector
 }
 
 // Engine runs jobs on a bounded worker pool. Create with New, release
-// with Close.
+// with Close (or Shutdown for a graceful drain).
 type Engine struct {
-	cfg     Config
-	metrics *Metrics
-	cache   *cache
+	cfg          Config
+	metrics      *Metrics
+	cache        *cache
+	compactEvery int
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	queue  chan *Job
 	wg     sync.WaitGroup
+
+	overloaded atomic.Bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	mu     sync.Mutex
 	closed bool
@@ -70,15 +128,21 @@ func New(cfg Config) *Engine {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 128
 	}
+	compactEvery := cfg.JournalCompactEvery
+	if compactEvery <= 0 {
+		compactEvery = 256
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
-		cfg:     cfg,
-		metrics: newMetrics(),
-		cache:   newCache(cfg.CacheSize),
-		ctx:     ctx,
-		cancel:  cancel,
-		queue:   make(chan *Job, cfg.QueueDepth),
-		jobs:    make(map[string]*Job),
+		cfg:          cfg,
+		metrics:      newMetrics(),
+		cache:        newCache(cfg.CacheSize),
+		compactEvery: compactEvery,
+		ctx:          ctx,
+		cancel:       cancel,
+		queue:        make(chan *Job, cfg.QueueDepth),
+		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
+		jobs:         make(map[string]*Job),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
@@ -88,10 +152,19 @@ func New(cfg Config) *Engine {
 }
 
 // Submit validates and enqueues a job, returning it immediately.
+// Past the shed watermark it rejects with ErrOverloaded; on a full
+// queue with ErrBusy.
 func (e *Engine) Submit(spec Spec) (*Job, error) {
 	spec, err := spec.normalized()
 	if err != nil {
 		return nil, err
+	}
+	if e.cfg.ShedWatermark > 0 {
+		e.updateWatermark()
+		if e.overloaded.Load() {
+			e.metrics.jobsShed.Add(1)
+			return nil, ErrOverloaded
+		}
 	}
 	e.mu.Lock()
 	if e.closed {
@@ -100,11 +173,13 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 	}
 	e.seq++
 	j := &Job{
-		id:      fmt.Sprintf("j%d", e.seq),
-		spec:    spec,
-		status:  StatusQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+		id:         fmt.Sprintf("j%d", e.seq),
+		seq:        e.seq,
+		spec:       spec,
+		maxRetries: e.maxRetries(spec),
+		status:     StatusQueued,
+		created:    time.Now(),
+		done:       make(chan struct{}),
 	}
 	// Registration and enqueue share one critical section: a rejected
 	// job leaves no trace in jobs/order, and a job never lands in the
@@ -124,7 +199,28 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
 	e.mu.Unlock()
+	// Journaled outside the lock: the fsync must not serialize
+	// submissions. A worker may journal this job's OpStarted first;
+	// replay is order-insensitive.
+	e.journalAppend(journal.Record{Op: journal.OpSubmitted, JobID: j.id, Seq: j.seq, Spec: marshalSpec(spec)})
+	e.updateWatermark()
 	return j, nil
+}
+
+// maxRetries resolves a job's retry budget.
+func (e *Engine) maxRetries(spec Spec) int {
+	if spec.MaxRetries > 0 {
+		return spec.MaxRetries
+	}
+	return e.cfg.MaxRetries
+}
+
+func marshalSpec(spec Spec) json.RawMessage {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return nil
+	}
+	return b
 }
 
 // Get returns a submitted job by ID.
@@ -152,7 +248,9 @@ func (e *Engine) Jobs() []JobView {
 }
 
 // Wait blocks until the job reaches a terminal status or ctx expires,
-// returning the job's snapshot.
+// returning the job's snapshot. A job that is already terminal always
+// returns immediately with a nil error, even if ctx is also done (the
+// done channel wins the race).
 func (e *Engine) Wait(ctx context.Context, id string) (JobView, error) {
 	j, ok := e.Get(id)
 	if !ok {
@@ -162,12 +260,20 @@ func (e *Engine) Wait(ctx context.Context, id string) (JobView, error) {
 	case <-j.done:
 		return j.View(), nil
 	case <-ctx.Done():
+		// Both channels may have been ready and select picks
+		// arbitrarily; prefer the terminal snapshot over a spurious
+		// context error.
+		select {
+		case <-j.done:
+			return j.View(), nil
+		default:
+		}
 		return j.View(), ctx.Err()
 	}
 }
 
-// Cancel cancels a queued or running job. It reports whether the job
-// existed and was still cancelable.
+// Cancel cancels a queued, retrying or running job. It reports whether
+// the job existed and was still cancelable.
 func (e *Engine) Cancel(id string) bool {
 	j, ok := e.Get(id)
 	if !ok {
@@ -175,6 +281,7 @@ func (e *Engine) Cancel(id string) bool {
 	}
 	if j.cancelQueued() {
 		e.metrics.jobsCanceled.Add(1)
+		e.journalAppend(journal.Record{Op: journal.OpCanceled, JobID: j.id, Seq: j.seq})
 		return true
 	}
 	j.mu.Lock()
@@ -192,22 +299,93 @@ func (e *Engine) Cancel(id string) bool {
 
 // Metrics returns a snapshot of the engine's counters.
 func (e *Engine) Metrics() Snapshot {
-	return e.metrics.snapshot(e.cache.Len())
+	s := e.metrics.snapshot(e.cache.Len())
+	s.QueueDepth = len(e.queue)
+	s.Overloaded = e.overloaded.Load()
+	return s
 }
 
 // CacheLen returns the number of cached results.
 func (e *Engine) CacheLen() int { return e.cache.Len() }
 
-// Close stops accepting jobs, cancels running ones, waits for the
-// workers and marks still-queued jobs canceled.
+// Overloaded reports whether the queue has passed the shed watermark
+// and not yet drained back below the low-water mark; the server's
+// /healthz degrades on it.
+func (e *Engine) Overloaded() bool { return e.overloaded.Load() }
+
+// updateWatermark re-evaluates the shed state from the current queue
+// depth: sheds at ShedWatermark, recovers at half of it.
+func (e *Engine) updateWatermark() {
+	hi := e.cfg.ShedWatermark
+	if hi <= 0 {
+		return
+	}
+	switch depth := len(e.queue); {
+	case depth >= hi:
+		e.overloaded.Store(true)
+	case depth <= hi/2:
+		e.overloaded.Store(false)
+	}
+}
+
+// Close stops accepting jobs, cancels queued, retrying and running
+// ones immediately, and waits for the workers. Journaled jobs that
+// were still in flight keep their live records and are replayed by
+// Restore on the next start.
 func (e *Engine) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.Shutdown(ctx) // expired ctx: skip the drain
+}
+
+// Shutdown stops accepting jobs, sheds everything not yet running
+// (canceled in memory; their journal records stay live for replay),
+// and drains running jobs until ctx expires, then cancels the rest.
+// It returns nil if every running job drained, ctx's error otherwise.
+func (e *Engine) Shutdown(ctx context.Context) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return
+		return nil
 	}
 	e.closed = true
+	jobs := make([]*Job, 0, len(e.order))
+	for _, id := range e.order {
+		jobs = append(jobs, e.jobs[id])
+	}
+	// Rewrite the journal to the jobs still in flight *before*
+	// canceling anything: jobs that drain below append their terminal
+	// records after this baseline, and jobs shed or interrupted keep
+	// a live record to be replayed on restart.
+	live := e.liveRecordsLocked()
 	e.mu.Unlock()
+	if log := e.cfg.Journal; log != nil {
+		if err := log.Compact(live); err != nil {
+			e.metrics.journalErrors.Add(1)
+		} else {
+			e.metrics.journalCompactions.Add(1)
+		}
+	}
+
+	// Shed queued and retrying jobs in memory only — no journal
+	// record, so they replay.
+	for _, j := range jobs {
+		if j.cancelQueued() {
+			e.metrics.jobsCanceled.Add(1)
+		}
+	}
+	// Drain running jobs under the caller's deadline.
+	var err error
+drain:
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break drain
+		}
+	}
+	// Hard-stop whatever remains.
 	e.cancel()
 	e.wg.Wait()
 	for {
@@ -217,7 +395,7 @@ func (e *Engine) Close() {
 				e.metrics.jobsCanceled.Add(1)
 			}
 		default:
-			return
+			return err
 		}
 	}
 }
@@ -229,6 +407,7 @@ func (e *Engine) worker() {
 		case <-e.ctx.Done():
 			return
 		case j := <-e.queue:
+			e.updateWatermark()
 			e.runJob(j)
 		}
 	}
@@ -250,28 +429,232 @@ func (e *Engine) runJob(j *Job) {
 		ctx, cancel = context.WithTimeout(e.ctx, timeout)
 	}
 	j.status = StatusRunning
-	j.started = time.Now()
+	if j.started.IsZero() {
+		j.started = time.Now() // first attempt; retries keep the origin
+	}
+	j.attempt++
+	attempt := j.attempt
 	j.cancel = cancel
 	j.mu.Unlock()
 	defer cancel()
 
+	e.journalAppend(journal.Record{Op: journal.OpStarted, JobID: j.id, Seq: j.seq, Attempt: attempt})
 	e.metrics.jobsRunning.Add(1)
-	res, hit, err := e.execute(ctx, j.spec)
+	res, hit, err := e.executeShielded(ctx, j)
 	e.metrics.jobsRunning.Add(-1)
 	switch {
 	case err == nil:
 		if j.markDone(StatusDone, res, hit, nil) {
 			e.metrics.jobsDone.Add(1)
+			e.journalAppend(journal.Record{Op: journal.OpDone, JobID: j.id, Seq: j.seq, Digest: res.CacheKey, Attempt: attempt})
 		}
 	case errors.Is(err, context.Canceled):
 		if j.markDone(StatusCanceled, nil, false, err) {
 			e.metrics.jobsCanceled.Add(1)
+			// An engine-shutdown cancellation is deliberately not
+			// journaled: the job stays live on disk and replays on
+			// restart. A caller's cancel is final.
+			if e.ctx.Err() == nil {
+				e.journalAppend(journal.Record{Op: journal.OpCanceled, JobID: j.id, Seq: j.seq})
+			}
 		}
 	default:
+		e.retryOrFail(j, attempt, err)
+	}
+	e.maybeCompact()
+}
+
+// executeShielded runs the job pipeline under recover: a panic in any
+// stage is converted to a *PanicError confined to this job, keeping
+// the worker and the process alive.
+func (e *Engine) executeShielded(ctx context.Context, j *Job) (res *Result, hit bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			stack := string(debug.Stack())
+			j.setPanicStack(stack)
+			e.metrics.jobPanics.Add(1)
+			res, hit = nil, false
+			err = &PanicError{Value: fmt.Sprint(p), Stack: stack}
+		}
+	}()
+	return e.execute(ctx, j)
+}
+
+// retryOrFail routes a failed attempt: re-queue with backoff while
+// budget remains, otherwise fail terminally.
+func (e *Engine) retryOrFail(j *Job, attempt int, err error) {
+	if e.ctx.Err() != nil {
+		// Engine shutting down: cancel in memory, keep the journal
+		// record live for replay.
+		if j.markDone(StatusCanceled, nil, false, context.Canceled) {
+			e.metrics.jobsCanceled.Add(1)
+		}
+		return
+	}
+	if attempt > j.maxRetries {
 		if j.markDone(StatusFailed, nil, false, err) {
 			e.metrics.jobsFailed.Add(1)
+			e.journalAppend(journal.Record{Op: journal.OpFailed, JobID: j.id, Seq: j.seq, Error: err.Error(), Attempt: attempt})
 		}
+		return
 	}
+	if !j.markRetrying(err) {
+		return // a cancel won the race
+	}
+	e.metrics.jobsRetried.Add(1)
+	e.journalAppend(journal.Record{Op: journal.OpRetrying, JobID: j.id, Seq: j.seq, Error: err.Error(), Attempt: attempt})
+	j.setRetryTimer(time.AfterFunc(e.retryDelay(attempt), func() { e.requeue(j) }))
+}
+
+// retryDelay returns the jittered backoff before retry number retryNum.
+func (e *Engine) retryDelay(retryNum int) time.Duration {
+	e.rngMu.Lock()
+	d := e.cfg.RetryPolicy.Delay(retryNum, e.rng)
+	e.rngMu.Unlock()
+	return d
+}
+
+// requeue moves a job whose backoff expired back onto the run queue.
+// A full queue re-arms the backoff instead of dropping the job; a
+// closed engine cancels it in memory only, leaving its journal record
+// live for replay after restart.
+func (e *Engine) requeue(j *Job) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		if j.markDone(StatusCanceled, nil, false, context.Canceled) {
+			e.metrics.jobsCanceled.Add(1)
+		}
+		return
+	}
+	if !j.swapStatus(StatusRetrying, StatusQueued) {
+		e.mu.Unlock()
+		return // canceled during backoff
+	}
+	select {
+	case e.queue <- j:
+		e.mu.Unlock()
+	default:
+		// No room: back to the retry window, try again shortly.
+		j.swapStatus(StatusQueued, StatusRetrying)
+		e.mu.Unlock()
+		j.setRetryTimer(time.AfterFunc(e.retryDelay(1), func() { e.requeue(j) }))
+	}
+}
+
+// journalAppend writes one lifecycle record, if a journal is
+// configured. Append failures degrade to a metric rather than failing
+// the job: the engine prefers availability over durability.
+func (e *Engine) journalAppend(r journal.Record) {
+	log := e.cfg.Journal
+	if log == nil {
+		return
+	}
+	if err := log.Append(r); err != nil {
+		e.metrics.journalErrors.Add(1)
+		return
+	}
+	e.metrics.journalAppends.Add(1)
+}
+
+// maybeCompact rewrites the journal down to the live jobs once enough
+// records have accumulated since the last compaction.
+func (e *Engine) maybeCompact() {
+	log := e.cfg.Journal
+	if log == nil || log.AppendedSinceCompact() < e.compactEvery {
+		return
+	}
+	e.mu.Lock()
+	if e.closed { // Shutdown owns the final compaction
+		e.mu.Unlock()
+		return
+	}
+	live := e.liveRecordsLocked()
+	e.mu.Unlock()
+	if err := log.Compact(live); err != nil {
+		e.metrics.journalErrors.Add(1)
+		return
+	}
+	e.metrics.journalCompactions.Add(1)
+}
+
+// liveRecordsLocked rebuilds the OpSubmitted records of every
+// non-terminal job, in submission order. Caller holds e.mu.
+func (e *Engine) liveRecordsLocked() []journal.Record {
+	var live []journal.Record
+	for _, id := range e.order {
+		j := e.jobs[id]
+		j.mu.Lock()
+		terminal := j.status.Terminal()
+		j.mu.Unlock()
+		if terminal {
+			continue
+		}
+		live = append(live, journal.Record{Op: journal.OpSubmitted, JobID: j.id, Seq: j.seq, Spec: marshalSpec(j.spec)})
+	}
+	return live
+}
+
+// Restore re-enqueues the live jobs of a replayed journal (the record
+// slice returned by journal.Open): jobs that were queued, running or
+// waiting out a retry backoff when the previous process died are
+// re-run from their journaled Spec under their original IDs. The ID
+// counter advances past every journaled sequence number so restored
+// and new jobs never collide. Call Restore once, before serving
+// traffic; it reports how many jobs were re-enqueued. Records whose
+// Spec no longer validates are skipped (counted as journal errors),
+// not fatal.
+func (e *Engine) Restore(recs []journal.Record) (int, error) {
+	if maxSeq := journal.MaxSeq(recs); maxSeq > 0 {
+		e.mu.Lock()
+		if e.seq < maxSeq {
+			e.seq = maxSeq
+		}
+		e.mu.Unlock()
+	}
+	n := 0
+	for _, r := range journal.Live(recs) {
+		var spec Spec
+		if err := json.Unmarshal(r.Spec, &spec); err != nil {
+			e.metrics.journalErrors.Add(1)
+			continue
+		}
+		spec, err := spec.normalized()
+		if err != nil {
+			e.metrics.journalErrors.Add(1)
+			continue
+		}
+		j := &Job{
+			id:         r.JobID,
+			seq:        r.Seq,
+			spec:       spec,
+			maxRetries: e.maxRetries(spec),
+			status:     StatusQueued,
+			created:    time.Now(),
+			done:       make(chan struct{}),
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return n, ErrClosed
+		}
+		if _, dup := e.jobs[j.id]; dup {
+			e.mu.Unlock()
+			continue
+		}
+		select {
+		case e.queue <- j:
+		default:
+			e.mu.Unlock()
+			return n, fmt.Errorf("%w: journal replay overflowed the queue after %d jobs", ErrBusy, n)
+		}
+		e.metrics.jobsSubmitted.Add(1)
+		e.jobs[j.id] = j
+		e.order = append(e.order, j.id)
+		e.mu.Unlock()
+		n++
+	}
+	return n, nil
 }
 
 // simWorkers resolves a job's fault-simulation shard count.
@@ -285,11 +668,22 @@ func (e *Engine) simWorkers(spec Spec) int {
 	return 1
 }
 
+// stageDone records a completed pipeline stage in the latency metrics
+// and the journal.
+func (e *Engine) stageDone(j *Job, name string, d time.Duration) {
+	e.metrics.observeStage(name, d)
+	e.journalAppend(journal.Record{Op: journal.OpStage, JobID: j.id, Seq: j.seq, Stage: name})
+}
+
 // execute runs one job through the prepare → cache → run → store
 // pipeline. It never stores a result for a canceled or failed run.
-func (e *Engine) execute(ctx context.Context, spec Spec) (*Result, bool, error) {
+func (e *Engine) execute(ctx context.Context, j *Job) (*Result, bool, error) {
+	spec := j.spec
 	// Stage 1: prepare — load the circuit, enumerate and partition the
 	// fault sets.
+	if err := e.inject(ctx, SitePrepare, j.id); err != nil {
+		return nil, false, err
+	}
 	t0 := time.Now()
 	c := spec.Circ
 	if c == nil {
@@ -308,7 +702,7 @@ func (e *Engine) execute(ctx context.Context, spec Spec) (*Result, bool, error) 
 		p0 = collapseSet(p0)
 		p1 = collapseSet(p1)
 	}
-	e.metrics.observeStage("prepare", time.Since(t0))
+	e.stageDone(j, "prepare", time.Since(t0))
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
@@ -347,6 +741,9 @@ func (e *Engine) execute(ctx context.Context, spec Spec) (*Result, bool, error) 
 	workers := e.simWorkers(spec)
 
 	// Stage 3: run the procedure.
+	if err := e.inject(ctx, SiteRun, j.id); err != nil {
+		return nil, false, err
+	}
 	t1 := time.Now()
 	switch spec.Kind {
 	case KindGenerate:
@@ -359,14 +756,14 @@ func (e *Engine) execute(ctx context.Context, spec Spec) (*Result, bool, error) 
 		res.P0Detected = gres.DetectedCount
 		all := d.All()
 		res.AllTotal = len(all)
-		e.metrics.observeStage("generate", time.Since(t1))
+		e.stageDone(j, "generate", time.Since(t1))
 		ts := time.Now()
 		n, err := faultsim.CountParallel(ctx, c, gres.Tests, all, workers)
 		if err != nil {
 			return nil, false, err
 		}
 		res.AllDetected = n
-		e.metrics.observeStage("simulate", time.Since(ts))
+		e.stageDone(j, "simulate", time.Since(ts))
 	case KindEnrich:
 		er, err := core.EnrichCtx(ctx, c, p0, p1, cfg)
 		if err != nil {
@@ -378,7 +775,7 @@ func (e *Engine) execute(ctx context.Context, spec Spec) (*Result, bool, error) 
 		res.P1Detected = er.DetectedP1Count
 		res.AllTotal = len(p0) + len(p1)
 		res.AllDetected = er.DetectedP0Count + er.DetectedP1Count
-		e.metrics.observeStage("enrich", time.Since(t1))
+		e.stageDone(j, "enrich", time.Since(t1))
 	case KindFaultSim:
 		tests, err := testio.ReadTests(strings.NewReader(strings.Join(spec.Tests, "\n")), len(c.PIs))
 		if err != nil {
@@ -397,7 +794,7 @@ func (e *Engine) execute(ctx context.Context, spec Spec) (*Result, bool, error) 
 				res.Detected++
 			}
 		}
-		e.metrics.observeStage("faultsim", time.Since(t1))
+		e.stageDone(j, "faultsim", time.Since(t1))
 	}
 	res.Tests = make([]string, len(res.TestPatterns))
 	for i, tp := range res.TestPatterns {
@@ -409,9 +806,15 @@ func (e *Engine) execute(ctx context.Context, spec Spec) (*Result, bool, error) 
 	}
 
 	// Stage 4: store. Only complete, uncanceled results reach here.
+	if err := e.inject(ctx, SiteStore, j.id); err != nil {
+		return nil, false, err
+	}
 	if !spec.NoCache {
 		e.cache.Put(key, res)
 		e.metrics.cachePuts.Add(1)
+	}
+	if err := e.inject(ctx, SiteDone, j.id); err != nil {
+		return nil, false, err
 	}
 	return res, false, nil
 }

@@ -63,6 +63,10 @@ type Spec struct {
 	Workers int `json:"workers,omitempty"`
 	// TimeoutMS bounds the job's run time; 0 uses the engine default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxRetries is the job's retry budget: a run that panics or fails
+	// with a non-cancellation error is re-queued with backoff up to
+	// this many times. 0 uses the engine default (Config.MaxRetries).
+	MaxRetries int `json:"max_retries,omitempty"`
 	// Tests is the input test set of a faultsim job, one "p1 -> p2"
 	// line per test in the testio format.
 	Tests []string `json:"tests,omitempty"`
@@ -97,7 +101,7 @@ func (s Spec) normalized() (Spec, error) {
 	if s.Kind == KindFaultSim && len(s.Tests) == 0 {
 		return s, fmt.Errorf("engine: faultsim job needs tests")
 	}
-	if s.NP < 0 || s.NP0 < 0 || s.Workers < 0 || s.TimeoutMS < 0 {
+	if s.NP < 0 || s.NP0 < 0 || s.Workers < 0 || s.TimeoutMS < 0 || s.MaxRetries < 0 {
 		return s, fmt.Errorf("engine: negative spec parameter")
 	}
 	return s, nil
@@ -152,11 +156,15 @@ type Result struct {
 // Status is a job's lifecycle state.
 type Status string
 
-// Job statuses. Queued and Running are transient; the rest are
-// terminal.
+// Job statuses. Queued, Running and Retrying are transient; the rest
+// are terminal.
 const (
-	StatusQueued   Status = "queued"
-	StatusRunning  Status = "running"
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	// StatusRetrying is the backoff window between a failed attempt
+	// and its re-queue; the job still terminates (done, failed once
+	// the retry budget is spent, or canceled).
+	StatusRetrying Status = "retrying"
 	StatusDone     Status = "done"
 	StatusFailed   Status = "failed"
 	StatusCanceled Status = "canceled"
@@ -170,18 +178,23 @@ func (s Status) Terminal() bool {
 // Job is one submitted unit of work. All fields are guarded by mu;
 // read them through View.
 type Job struct {
-	id   string
-	spec Spec
+	id         string
+	seq        int64
+	spec       Spec
+	maxRetries int
 
-	mu       sync.Mutex
-	status   Status
-	err      error
-	result   *Result
-	cacheHit bool
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	cancel   func()
+	mu         sync.Mutex
+	status     Status
+	err        error
+	result     *Result
+	cacheHit   bool
+	attempt    int // runs started (1 on the first run)
+	panicStack string
+	retryTimer *time.Timer
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	cancel     func()
 
 	done     chan struct{}
 	doneOnce sync.Once
@@ -196,15 +209,20 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 
 // JobView is a consistent snapshot of a job, safe to marshal.
 type JobView struct {
-	ID       string  `json:"id"`
-	Kind     Kind    `json:"kind"`
-	Circuit  string  `json:"circuit"`
-	Status   Status  `json:"status"`
-	Error    string  `json:"error,omitempty"`
-	CacheHit bool    `json:"cache_hit"`
-	QueuedMS float64 `json:"queued_ms"`
-	RunMS    float64 `json:"run_ms"`
-	Result   *Result `json:"result,omitempty"`
+	ID       string `json:"id"`
+	Kind     Kind   `json:"kind"`
+	Circuit  string `json:"circuit"`
+	Status   Status `json:"status"`
+	Error    string `json:"error,omitempty"`
+	CacheHit bool   `json:"cache_hit"`
+	// Attempts counts runs started; >1 means the job was retried.
+	Attempts int `json:"attempts,omitempty"`
+	// PanicStack is the captured stack of the most recent attempt
+	// that panicked (empty if no attempt did).
+	PanicStack string  `json:"panic_stack,omitempty"`
+	QueuedMS   float64 `json:"queued_ms"`
+	RunMS      float64 `json:"run_ms"`
+	Result     *Result `json:"result,omitempty"`
 }
 
 // View snapshots the job.
@@ -212,12 +230,14 @@ func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:       j.id,
-		Kind:     j.spec.Kind,
-		Circuit:  j.spec.Circuit,
-		Status:   j.status,
-		CacheHit: j.cacheHit,
-		Result:   j.result,
+		ID:         j.id,
+		Kind:       j.spec.Kind,
+		Circuit:    j.spec.Circuit,
+		Status:     j.status,
+		CacheHit:   j.cacheHit,
+		Attempts:   j.attempt,
+		PanicStack: j.panicStack,
+		Result:     j.result,
 	}
 	if j.err != nil {
 		v.Error = j.err.Error()
@@ -253,20 +273,75 @@ func (j *Job) markDone(st Status, res *Result, hit bool, err error) bool {
 	return true
 }
 
-// cancelQueued moves a still-queued job to Canceled atomically under
-// j.mu, so a worker that dequeues it afterwards observes a terminal
-// status and skips it — the job can never be both canceled and run. It
-// reports whether the transition happened.
+// cancelQueued moves a still-queued (or retrying, i.e. waiting out a
+// backoff) job to Canceled atomically under j.mu, so a worker that
+// dequeues it afterwards observes a terminal status and skips it — the
+// job can never be both canceled and run. A pending retry timer is
+// stopped. It reports whether the transition happened.
 func (j *Job) cancelQueued() bool {
 	j.mu.Lock()
-	if j.status != StatusQueued {
+	if j.status != StatusQueued && j.status != StatusRetrying {
 		j.mu.Unlock()
 		return false
 	}
+	timer := j.retryTimer
+	j.retryTimer = nil
 	j.status = StatusCanceled
 	j.err = context.Canceled
 	j.finished = time.Now()
 	j.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
 	j.doneOnce.Do(func() { close(j.done) })
 	return true
+}
+
+// markRetrying moves a running job whose attempt just failed into the
+// backoff window, recording the error. It reports whether the
+// transition happened (a racing cancel wins).
+func (j *Job) markRetrying(err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusRunning {
+		return false
+	}
+	j.status = StatusRetrying
+	j.err = err
+	return true
+}
+
+// swapStatus transitions from → to atomically, reporting whether the
+// job was in from. Used for the retrying ⇄ queued handoff around the
+// re-enqueue, where a racing cancel must win.
+func (j *Job) swapStatus(from, to Status) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != from {
+		return false
+	}
+	j.status = to
+	return true
+}
+
+// setRetryTimer records the pending backoff timer so a cancel can stop
+// it; if the job already left Retrying (canceled in the gap), the
+// timer is stopped immediately.
+func (j *Job) setRetryTimer(t *time.Timer) {
+	j.mu.Lock()
+	stale := j.status != StatusRetrying
+	if !stale {
+		j.retryTimer = t
+	}
+	j.mu.Unlock()
+	if stale {
+		t.Stop()
+	}
+}
+
+// setPanicStack records the stack of a panicking attempt for JobView.
+func (j *Job) setPanicStack(stack string) {
+	j.mu.Lock()
+	j.panicStack = stack
+	j.mu.Unlock()
 }

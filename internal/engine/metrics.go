@@ -14,9 +14,16 @@ type Metrics struct {
 	jobsDone      atomic.Int64
 	jobsFailed    atomic.Int64
 	jobsCanceled  atomic.Int64
+	jobsRetried   atomic.Int64
+	jobsShed      atomic.Int64
+	jobPanics     atomic.Int64
 	cacheHits     atomic.Int64
 	cacheMisses   atomic.Int64
 	cachePuts     atomic.Int64
+
+	journalAppends     atomic.Int64
+	journalErrors      atomic.Int64
+	journalCompactions atomic.Int64
 
 	mu     sync.Mutex
 	stages map[string]*stageStat
@@ -65,10 +72,25 @@ type Snapshot struct {
 	JobsDone      int64 `json:"jobs_done"`
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsCanceled  int64 `json:"jobs_canceled"`
-	CacheHits     int64 `json:"cache_hits"`
-	CacheMisses   int64 `json:"cache_misses"`
-	CachePuts     int64 `json:"cache_puts"`
-	CacheLen      int   `json:"cache_len"`
+	// JobsRetried counts attempts re-queued with backoff; JobsShed
+	// counts submissions rejected past the shed watermark; JobPanics
+	// counts attempts that panicked and were contained.
+	JobsRetried int64 `json:"jobs_retried"`
+	JobsShed    int64 `json:"jobs_shed"`
+	JobPanics   int64 `json:"job_panics"`
+	// QueueDepth is the instantaneous run-queue occupancy; Overloaded
+	// reports the shed watermark state feeding /healthz.
+	QueueDepth  int   `json:"queue_depth"`
+	Overloaded  bool  `json:"overloaded"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CachePuts   int64 `json:"cache_puts"`
+	CacheLen    int   `json:"cache_len"`
+	// Journal health: records appended, append/compact failures, and
+	// completed compactions. Zero when journaling is disabled.
+	JournalAppends     int64 `json:"journal_appends"`
+	JournalErrors      int64 `json:"journal_errors"`
+	JournalCompactions int64 `json:"journal_compactions"`
 	// Stages reports per-stage latency (prepare, generate, enrich,
 	// faultsim, simulate).
 	Stages map[string]StageSnapshot `json:"stages"`
@@ -81,11 +103,19 @@ func (m *Metrics) snapshot(cacheLen int) Snapshot {
 		JobsDone:      m.jobsDone.Load(),
 		JobsFailed:    m.jobsFailed.Load(),
 		JobsCanceled:  m.jobsCanceled.Load(),
+		JobsRetried:   m.jobsRetried.Load(),
+		JobsShed:      m.jobsShed.Load(),
+		JobPanics:     m.jobPanics.Load(),
 		CacheHits:     m.cacheHits.Load(),
 		CacheMisses:   m.cacheMisses.Load(),
 		CachePuts:     m.cachePuts.Load(),
 		CacheLen:      cacheLen,
-		Stages:        make(map[string]StageSnapshot),
+
+		JournalAppends:     m.journalAppends.Load(),
+		JournalErrors:      m.journalErrors.Load(),
+		JournalCompactions: m.journalCompactions.Load(),
+
+		Stages: make(map[string]StageSnapshot),
 	}
 	s.JobsQueued = s.JobsSubmitted - s.JobsRunning - s.JobsDone - s.JobsFailed - s.JobsCanceled
 	m.mu.Lock()

@@ -13,7 +13,7 @@ import (
 //	GET    /jobs       list all jobs
 //	GET    /jobs/{id}  job snapshot; ?wait=5s blocks until terminal
 //	DELETE /jobs/{id}  cancel a queued or running job
-//	GET    /healthz    liveness probe
+//	GET    /healthz    liveness probe; 503 "overloaded" past the shed watermark
 //	GET    /metrics    engine counters (Snapshot)
 func NewServer(e *Engine) http.Handler {
 	mux := http.NewServeMux()
@@ -30,7 +30,10 @@ func NewServer(e *Engine) http.Handler {
 		switch {
 		case err == nil:
 			writeJSON(w, http.StatusAccepted, j.View())
-		case errors.Is(err, ErrBusy):
+		case errors.Is(err, ErrOverloaded), errors.Is(err, ErrBusy):
+			// Backpressure, not failure: tell well-behaved clients
+			// when to try again.
+			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusServiceUnavailable, err.Error())
 		case errors.Is(err, ErrClosed):
 			httpError(w, http.StatusServiceUnavailable, err.Error())
@@ -76,6 +79,11 @@ func NewServer(e *Engine) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if e.Overloaded() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "overloaded"})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 	})
 

@@ -215,3 +215,62 @@ func TestServerCancelJob(t *testing.T) {
 		t.Errorf("status after cancel = %s", v.Status)
 	}
 }
+
+// Every response — success or error — is JSON with the right content
+// type, so clients never need to sniff.
+func TestServerJSONContentType(t *testing.T) {
+	_, srv := newTestServer(t)
+	checks := []struct {
+		name string
+		do   func() *http.Response
+		want int
+	}{
+		{"submit accepted", func() *http.Response {
+			resp, _ := postJSON(t, srv.URL+"/jobs", map[string]any{"kind": "generate", "circuit": "s27", "np0": 10})
+			return resp
+		}, http.StatusAccepted},
+		{"bad spec", func() *http.Response {
+			resp, _ := postJSON(t, srv.URL+"/jobs", map[string]any{"kind": "explode"})
+			return resp
+		}, http.StatusBadRequest},
+		{"unknown job", func() *http.Response {
+			return getJSON(t, srv.URL+"/jobs/j999", nil)
+		}, http.StatusNotFound},
+		{"healthz", func() *http.Response {
+			return getJSON(t, srv.URL+"/healthz", nil)
+		}, http.StatusOK},
+		{"metrics", func() *http.Response {
+			return getJSON(t, srv.URL+"/metrics", nil)
+		}, http.StatusOK},
+	}
+	for _, c := range checks {
+		resp := c.do()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: content type %q, want application/json", c.name, ct)
+		}
+	}
+
+	// Error bodies carry the machine-readable {"error": ...} shape.
+	_, body := postJSON(t, srv.URL+"/jobs", map[string]any{"kind": "explode", "circuit": "s27"})
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Errorf("error body not {\"error\": ...}: %s (%v)", body, err)
+	}
+}
+
+// /metrics exposes the resilience counters.
+func TestServerMetricsResilienceFields(t *testing.T) {
+	_, srv := newTestServer(t)
+	var m map[string]any
+	getJSON(t, srv.URL+"/metrics", &m)
+	for _, key := range []string{"jobs_retried", "jobs_shed", "job_panics", "queue_depth", "overloaded", "journal_appends", "journal_errors", "journal_compactions"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("/metrics missing %q", key)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package journal is the engine's durable job journal: an append-only,
+// length-prefixed, CRC-checked write-ahead log of job lifecycle
+// records. Opening a journal replays it, truncating a torn or corrupt
+// tail (the expected artifact of a crash mid-write) instead of
+// erroring; Live distills the replayed records into the jobs a
+// restarted engine must re-enqueue; Compact rewrites the log to just
+// those, bounding its growth.
+//
+// On-disk framing, per record:
+//
+//	uint32 LE  payload length n
+//	uint32 LE  CRC-32 (IEEE) of the payload
+//	n bytes    payload (JSON-encoded Record)
+//
+// Records of one job are appended by concurrent writers (submitter,
+// worker), so they may interleave out of lifecycle order; replay is
+// order-insensitive (a terminal record retires its job wherever it
+// sits).
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Op is a job lifecycle transition.
+type Op string
+
+// The journaled lifecycle transitions.
+const (
+	OpSubmitted Op = "submitted" // job accepted; Spec and Seq recorded
+	OpStarted   Op = "started"   // an attempt began running
+	OpStage     Op = "stage"     // a pipeline stage completed
+	OpRetrying  Op = "retrying"  // attempt failed; backoff scheduled
+	OpDone      Op = "done"      // terminal: result produced (Digest = cache key)
+	OpFailed    Op = "failed"    // terminal: retries exhausted
+	OpCanceled  Op = "canceled"  // terminal: canceled by a caller
+)
+
+// Terminal reports whether the op retires its job: a job whose record
+// stream contains a terminal op is not replayed.
+func (o Op) Terminal() bool { return o == OpDone || o == OpFailed || o == OpCanceled }
+
+// Record is one journal entry. Only Op and JobID are always set; the
+// rest depend on the op (see the Op constants).
+type Record struct {
+	Op      Op              `json:"op"`
+	JobID   string          `json:"job"`
+	Seq     int64           `json:"seq,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	Stage   string          `json:"stage,omitempty"`
+	Digest  string          `json:"digest,omitempty"`
+	Attempt int             `json:"attempt,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+const (
+	fileName = "journal.wal"
+	// maxRecord rejects absurd length prefixes when scanning a
+	// corrupted log (a 16MiB record is orders of magnitude beyond any
+	// real Spec).
+	maxRecord = 16 << 20
+)
+
+// Log is an open journal. All methods are safe for concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	appended int // records appended since Open or the last Compact
+}
+
+// Open opens (creating as needed) the journal in dir and replays it,
+// returning the decoded records. A torn or corrupt tail — short
+// header, short payload, CRC mismatch, undecodable JSON — is
+// truncated away so appends resume from the last intact record; it is
+// recovery, not an error.
+func Open(dir string) (*Log, []Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	path := filepath.Join(dir, fileName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	recs, valid, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if st.Size() > valid {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: truncating corrupt tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Log{path: path, f: f}, recs, nil
+}
+
+// scan decodes records from the start of f, stopping at the first
+// frame that does not check out and reporting the byte offset of the
+// end of the last intact record. Only I/O errors other than EOF are
+// returned as errors.
+func scan(f *os.File) ([]Record, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	br := bufio.NewReader(f)
+	var (
+		recs  []Record
+		valid int64
+	)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return recs, valid, nil // clean end or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxRecord {
+			return recs, valid, nil // garbage length prefix
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return recs, valid, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, valid, nil // corrupt payload
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, valid, nil // checksummed but undecodable
+		}
+		recs = append(recs, rec)
+		valid += int64(8 + n)
+	}
+}
+
+func frame(payload []byte) []byte {
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	return buf
+}
+
+// Append writes one record and syncs it to stable storage.
+func (l *Log) Append(r Record) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	if _, err := l.f.Write(frame(payload)); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	l.appended++
+	return nil
+}
+
+// AppendedSinceCompact returns the records appended since Open or the
+// last successful Compact; callers use it to pace compaction.
+func (l *Log) AppendedSinceCompact() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Compact atomically replaces the log's contents with keep: the new
+// log is written beside the old one, synced, and renamed over it, so
+// a crash at any point leaves either the old or the new log intact.
+func (l *Log) Compact(keep []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	tmpPath := l.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	for _, r := range keep {
+		payload, err := json.Marshal(r)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("journal: %w", err)
+		}
+		if _, err := w.Write(frame(payload)); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("journal: %w", err)
+	}
+	syncDir(filepath.Dir(l.path))
+	// The old handle now points at the unlinked inode; reopen for
+	// appending at the end of the compacted log.
+	f, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: reopening after compact: %w", err)
+	}
+	l.f.Close()
+	l.f = f
+	l.appended = 0
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash;
+// failure is ignored (some filesystems reject directory syncs).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// Size returns the log's current byte size.
+func (l *Log) Size() (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, fmt.Errorf("journal: closed")
+	}
+	st, err := l.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Close syncs and closes the log. Appends after Close fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Live distills replayed records into the OpSubmitted records of jobs
+// with no terminal record, in original submission order — exactly the
+// set a restarted engine must re-enqueue, and the set Compact keeps.
+func Live(recs []Record) []Record {
+	terminal := make(map[string]bool)
+	for _, r := range recs {
+		if r.Op.Terminal() {
+			terminal[r.JobID] = true
+		}
+	}
+	var out []Record
+	seen := make(map[string]bool)
+	for _, r := range recs {
+		if r.Op == OpSubmitted && !terminal[r.JobID] && !seen[r.JobID] {
+			seen[r.JobID] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MaxSeq returns the highest Seq across recs, for restoring an
+// engine's job-ID counter past every journaled job.
+func MaxSeq(recs []Record) int64 {
+	var max int64
+	for _, r := range recs {
+		if r.Seq > max {
+			max = r.Seq
+		}
+	}
+	return max
+}
