@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check chaos bench engine-bench
+.PHONY: build test race check chaos obs-smoke bench engine-bench
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,11 @@ race:
 chaos:
 	$(GO) test -race -count=2 -run 'TestChaos|TestWait|TestRetry|TestDo|TestDelay|TestJournal|TestLive|TestOpen' \
 		./internal/engine/ ./internal/journal/ ./internal/retry/
+
+# Observability smoke: boot pdfd, run a compacted c17 job, assert the
+# Prometheus exposition and the job's span timeline are well-formed.
+obs-smoke:
+	$(GO) test -race -count=1 -run 'TestObsSmoke' -v ./internal/cli/
 
 # The CI gate: vet + build + full suite under -race.
 check:

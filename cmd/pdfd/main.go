@@ -11,20 +11,35 @@
 // died. SIGINT/SIGTERM drain running jobs for up to -drain before
 // exiting.
 //
+// The daemon is observable end to end: structured logs on stdout
+// (-log-format text|json, -log-level), correlated by request_id and
+// job_id; a per-job span timeline covering every pipeline stage
+// (pathenum, generation, compaction, simulation) served at
+// /v1/jobs/{id}/trace; Prometheus metrics at /v1/metrics; and
+// net/http/pprof on a separate -debug-addr listener.
+//
 // Usage:
 //
-//	pdfd [-addr :8344] [-workers 0] [-sim-workers 4] [-queue 64]
-//	     [-cache 128] [-timeout 10m] [-max-retries 0]
-//	     [-shed-watermark 0] [-journal DIR] [-drain 30s]
+//	pdfd [-addr :8344] [-debug-addr ""] [-log-format text] [-log-level info]
+//	     [-workers 0] [-sim-workers 4] [-queue 64] [-cache 128]
+//	     [-timeout 10m] [-max-retries 0] [-shed-watermark 0]
+//	     [-trace-spans 0] [-journal DIR] [-drain 30s]
 //
-// Endpoints:
+// Endpoints (the versioned /v1 surface; see API.md for the contract):
 //
-//	POST   /jobs       submit {"kind":"enrich","circuit":"s27","np":2000,"np0":300,"seed":1}
-//	GET    /jobs       list jobs
-//	GET    /jobs/{id}  poll a job; ?wait=5s blocks until it finishes
-//	DELETE /jobs/{id}  cancel a job
-//	GET    /healthz    liveness probe; 503 "overloaded" past the watermark
-//	GET    /metrics    queue/cache/latency/resilience counters
+//	POST   /v1/jobs            submit {"kind":"enrich","circuit":"s27","np":2000,"np0":300,"seed":1}
+//	GET    /v1/jobs            list jobs; ?status= ?kind= ?limit= ?page_token=
+//	GET    /v1/jobs/{id}       poll a job; ?wait=5s blocks until it finishes
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /v1/jobs/{id}/trace the job's span timeline
+//	GET    /v1/healthz         liveness probe; 503 "overloaded" past the watermark
+//	GET    /v1/metrics         Prometheus text exposition
+//	GET    /v1/metrics.json    queue/cache/latency/resilience counters as JSON
+//
+// The pre-/v1 routes (/jobs, /jobs/{id}, /healthz, /metrics) still
+// answer with a Deprecation header pointing at their successors.
+// Errors everywhere use one envelope:
+// {"error":{"code":"overloaded","message":"...","retry_after_ms":1000}}.
 //
 // See the README section "Running as a service" for curl examples.
 package main

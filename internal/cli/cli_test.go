@@ -203,8 +203,8 @@ func TestWaveformCLI(t *testing.T) {
 	if !strings.Contains(out, "$enddefinitions $end") {
 		t.Errorf("waveform did not emit VCD:\n%s", out)
 	}
-	if !strings.Contains(errOut, "injected +7") {
-		t.Errorf("injection banner missing:\n%s", errOut)
+	if !strings.Contains(errOut, `msg="injected extra delay"`) || !strings.Contains(errOut, "extra=7") {
+		t.Errorf("injection record missing:\n%s", errOut)
 	}
 	// Errors.
 	if _, _, err := run(t, func(a []string, o, e *bytes.Buffer) error {
@@ -258,7 +258,7 @@ func TestTablesCLIGenerationTables(t *testing.T) {
 	if !strings.Contains(out, "Table 6") || !strings.Contains(out, "s27") {
 		t.Errorf("table 6 output wrong:\n%s", out)
 	}
-	if !strings.Contains(errOut, "preparing s27") {
+	if !strings.Contains(errOut, `msg="preparing circuit"`) || !strings.Contains(errOut, "circuit=s27") {
 		t.Errorf("progress output missing:\n%s", errOut)
 	}
 	// Unknown circuits are skipped with a message, not fatal.
@@ -268,7 +268,7 @@ func TestTablesCLIGenerationTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(errOut, "skipping ghost") {
+	if !strings.Contains(errOut, `msg="skipping circuit"`) || !strings.Contains(errOut, "circuit=ghost") {
 		t.Errorf("skip message missing:\n%s", errOut)
 	}
 	if !strings.Contains(out, "Table 4") {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/journal"
+	"repro/internal/obs"
 )
 
 // PDFD implements cmd/pdfd: the HTTP job server over the enrichment
@@ -20,10 +22,20 @@ import (
 // SIGTERM arrives; on a signal it stops accepting work, lets running
 // jobs drain for up to -drain, and leaves anything unfinished in the
 // journal (if one is configured) to be replayed by the next start.
+//
+// All daemon output is structured logging (-log-format text|json,
+// -log-level debug..error) on stdout: the engine's job lifecycle
+// records, the server's per-request access log, and the daemon's own
+// start/drain records share one stream, correlated by job_id and
+// request_id. -debug-addr serves net/http/pprof on a second listener,
+// kept off the public API address.
 func PDFD(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("pdfd", stderr)
 	var (
 		addr       = fs.String("addr", ":8344", "listen address")
+		debugAddr  = fs.String("debug-addr", "", "listen address of the pprof debug server (empty = disabled)")
+		logFormat  = fs.String("log-format", "text", "log output format: text or json")
+		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		workers    = fs.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
 		simWorkers = fs.Int("sim-workers", 4, "default fault-simulation shards per job")
 		queue      = fs.Int("queue", 64, "maximum queued jobs (submissions beyond it get 503)")
@@ -31,12 +43,14 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 		timeout    = fs.Duration("timeout", 10*time.Minute, "default per-job deadline (0 = none)")
 		maxRetries = fs.Int("max-retries", 0, "default retry budget for jobs that panic or fail transiently")
 		shed       = fs.Int("shed-watermark", 0, "queue depth at which submissions are shed with 503 before the queue is full (0 = disabled)")
+		spanLimit  = fs.Int("trace-spans", 0, "per-job span timeline cap (0 = default 512); excess spans are counted, not kept")
 		journalDir = fs.String("journal", "", "directory of the durable job journal; queued and running jobs survive a crash and replay on restart (empty = no journal)")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful shutdown: how long running jobs may finish after a signal")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	log := obs.NewLogger(stdout, *logFormat, *logLevel)
 	cfg := engine.Config{
 		Workers:        *workers,
 		SimWorkers:     *simWorkers,
@@ -45,15 +59,17 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 		DefaultTimeout: *timeout,
 		MaxRetries:     *maxRetries,
 		ShedWatermark:  *shed,
+		TraceSpanLimit: *spanLimit,
+		Logger:         log,
 	}
 	var replay []journal.Record
 	if *journalDir != "" {
-		log, recs, err := journal.Open(*journalDir)
+		jlog, recs, err := journal.Open(*journalDir)
 		if err != nil {
 			return err
 		}
-		defer log.Close()
-		cfg.Journal = log
+		defer jlog.Close()
+		cfg.Journal = jlog
 		replay = recs
 	}
 	eng := engine.New(cfg)
@@ -63,7 +79,7 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 			eng.Close()
 			return fmt.Errorf("replaying journal: %w", err)
 		}
-		fmt.Fprintf(stdout, "pdfd: journal %s replayed, %d jobs re-enqueued\n", *journalDir, n)
+		log.Info("journal replayed", "dir", *journalDir, "jobs", n)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -71,10 +87,30 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 		eng.Close()
 		return err
 	}
-	fmt.Fprintf(stdout, "pdfd listening on %s\n", ln.Addr())
-	srv := &http.Server{Handler: engine.NewServer(eng)}
+	log.Info("pdfd listening", "addr", ln.Addr().String())
+	srv := &http.Server{Handler: engine.NewServerWith(eng, engine.ServerConfig{Logger: log})}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			srv.Close()
+			eng.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dbgSrv = &http.Server{Handler: debugMux()}
+		log.Info("pprof debug server listening", "addr", dln.Addr().String())
+		go func() {
+			// The debug server is best-effort; its failure does not
+			// take the daemon down.
+			if err := dbgSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				log.Warn("pprof debug server stopped", "err", err)
+			}
+		}()
+		defer dbgSrv.Close()
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -85,19 +121,32 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 		eng.Close()
 		return err
 	case sig := <-sigCh:
-		fmt.Fprintf(stdout, "pdfd: %s, draining running jobs for up to %s\n", sig, *drain)
+		log.Info("shutdown signal, draining running jobs", "signal", sig.String(), "drain", drain.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		srv.Shutdown(ctx)
 		err := eng.Shutdown(ctx)
 		switch {
 		case err == nil:
-			fmt.Fprintln(stdout, "pdfd: drained cleanly")
+			log.Info("drained cleanly")
 		case *journalDir != "":
-			fmt.Fprintf(stdout, "pdfd: drain incomplete (%v); unfinished jobs stay journaled for replay\n", err)
+			log.Warn("drain incomplete; unfinished jobs stay journaled for replay", "err", err)
 		default:
-			fmt.Fprintf(stdout, "pdfd: drain incomplete (%v); unfinished jobs canceled\n", err)
+			log.Warn("drain incomplete; unfinished jobs canceled", "err", err)
 		}
 		return nil
 	}
+}
+
+// debugMux is the pprof surface of -debug-addr. Registered explicitly
+// (not via the pprof init side effect on http.DefaultServeMux) so the
+// profiling handlers never leak onto the public API listener.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

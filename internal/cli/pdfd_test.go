@@ -49,7 +49,7 @@ func (b *syncBuffer) String() string {
 	return b.buf.String()
 }
 
-var listenRE = regexp.MustCompile(`listening on (\S+)`)
+var listenRE = regexp.MustCompile(`msg="pdfd listening" addr=(\S+)`)
 
 // startPDFD boots the daemon on an ephemeral port and returns its base
 // URL and a channel carrying its exit error.
@@ -104,8 +104,8 @@ func TestPDFDLifecycleWithJournal(t *testing.T) {
 	var out syncBuffer
 	base, exit := startPDFD(t, &out,
 		"-journal", dir, "-max-retries", "2", "-shed-watermark", "32", "-drain", "30s")
-	if !strings.Contains(out.String(), "replayed, 0 jobs") {
-		t.Errorf("fresh journal replay banner missing:\n%s", out.String())
+	if !strings.Contains(out.String(), `msg="journal replayed"`) || !strings.Contains(out.String(), "jobs=0") {
+		t.Errorf("fresh journal replay record missing:\n%s", out.String())
 	}
 
 	resp, err := http.Post(base+"/jobs", "application/json",
@@ -147,10 +147,135 @@ func TestPDFDLifecycleWithJournal(t *testing.T) {
 	// not replay.
 	var out2 syncBuffer
 	_, exit2 := startPDFD(t, &out2, "-journal", dir)
-	if !strings.Contains(out2.String(), "replayed, 0 jobs") {
+	if !strings.Contains(out2.String(), `msg="journal replayed"`) || !strings.Contains(out2.String(), "jobs=0") {
 		t.Errorf("clean journal replayed jobs:\n%s", out2.String())
 	}
 	stopPDFD(t, exit2)
+}
+
+var debugListenRE = regexp.MustCompile(`msg="pprof debug server listening" addr=(\S+)`)
+
+// The observability smoke test (also run by `make obs-smoke`): boot
+// the daemon, run a compacted c17 enrichment job, and assert that the
+// Prometheus exposition and the job's span timeline are well-formed
+// and that pprof answers on the debug listener.
+func TestObsSmoke(t *testing.T) {
+	var out syncBuffer
+	base, exit := startPDFD(t, &out, "-debug-addr", "127.0.0.1:0", "-log-level", "debug")
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"enrich","circuit":"c17","np0":4,"seed":1,"collapse":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || v.ID == "" {
+		t.Fatalf("submit = %d %+v", resp.StatusCode, v)
+	}
+	resp, err = http.Get(base + "/v1/jobs/" + v.ID + "?wait=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&done); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if done.Status != "done" {
+		t.Fatalf("job status = %s (%s), want done", done.Status, done.Error)
+	}
+
+	// /metrics: Prometheus text with at least one coherent histogram.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb bytes.Buffer
+	mb.ReadFrom(resp.Body)
+	resp.Body.Close()
+	metrics := mb.String()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE pdfd_jobs_done_total counter",
+		"# TYPE pdfd_stage_duration_seconds histogram",
+		`pdfd_stage_duration_seconds_bucket{stage="`,
+		`le="+Inf"`,
+		"pdfd_stage_duration_seconds_count",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// The span timeline covers the pipeline stage names.
+	resp, err = http.Get(base + "/v1/jobs/" + v.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		Trace struct {
+			Spans []struct {
+				Name   string `json:"name"`
+				Parent int    `json:"parent"`
+			} `json:"spans"`
+		} `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	have := map[string]bool{}
+	for _, s := range tr.Trace.Spans {
+		have[s.Name] = true
+	}
+	for _, name := range []string{"job", "pathenum", "generation", "compaction", "simulation"} {
+		if !have[name] {
+			t.Errorf("trace missing %q span: %v", name, have)
+		}
+	}
+
+	// pprof answers on the debug listener, not the API one.
+	m := debugListenRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no pprof listener record:\n%s", out.String())
+	}
+	resp, err = http.Get("http://" + m[1] + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("pprof leaked onto the API listener")
+	}
+
+	// The access log correlates requests, the engine log the job.
+	logs := out.String()
+	for _, want := range []string{"http request", "request_id=", "job_id=" + v.ID} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("log stream missing %q:\n%s", want, logs)
+		}
+	}
+
+	stopPDFD(t, exit)
 }
 
 // The -workers flag must not change any byte of the report: the CLI

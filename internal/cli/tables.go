@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/synth"
 )
 
@@ -32,6 +33,9 @@ func Tables(args []string, stdout, stderr io.Writer) error {
 }
 
 func runTables(p experiments.Params, table, circuitList, format string, stdout, stderr io.Writer) error {
+	// Progress goes to stderr as structured records; the tables stay
+	// alone on stdout for piping.
+	log := obs.NewLogger(stderr, "text", "info")
 	basicNames := synth.PaperOrder
 	enrichNames := synth.PaperOrderEnrichment
 	if circuitList != "" {
@@ -68,7 +72,7 @@ func runTables(p experiments.Params, table, circuitList, format string, stdout, 
 		if d, ok := prepared[name]; ok {
 			return d, nil
 		}
-		fmt.Fprintf(stderr, "preparing %s...\n", name)
+		log.Info("preparing circuit", "circuit", name)
 		d, err := experiments.Prepare(name, p)
 		if err == nil {
 			prepared[name] = d
@@ -81,11 +85,10 @@ func runTables(p experiments.Params, table, circuitList, format string, stdout, 
 		for _, name := range basicNames {
 			d, err := prepare(name)
 			if err != nil {
-				fmt.Fprintf(stderr, "skipping %s: %v\n", name, err)
+				log.Warn("skipping circuit", "circuit", name, "err", err)
 				continue
 			}
-			fmt.Fprintf(stderr, "basic procedures on %s (|P0|=%d, |P1|=%d)...\n",
-				name, len(d.P0), len(d.P1))
+			log.Info("running basic procedures", "circuit", name, "p0", len(d.P0), "p1", len(d.P1))
 			basic = append(basic, experiments.BasicTable(d, p))
 		}
 	}
@@ -94,10 +97,10 @@ func runTables(p experiments.Params, table, circuitList, format string, stdout, 
 		for _, name := range enrichNames {
 			d, err := prepare(name)
 			if err != nil {
-				fmt.Fprintf(stderr, "skipping %s: %v\n", name, err)
+				log.Warn("skipping circuit", "circuit", name, "err", err)
 				continue
 			}
-			fmt.Fprintf(stderr, "enrichment on %s...\n", name)
+			log.Info("running enrichment", "circuit", name)
 			enrich = append(enrich, experiments.EnrichTable(d, p))
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/circuit"
+	"repro/internal/obs"
 	"repro/internal/testio"
 	"repro/internal/timingsim"
 )
@@ -27,6 +28,7 @@ func Waveform(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	log := obs.NewLogger(stderr, "text", "info")
 	c, err := load()
 	if err != nil {
 		return err
@@ -53,13 +55,13 @@ func Waveform(args []string, stdout, stderr io.Writer) error {
 		} else {
 			delays = delays.WithExtraOnPath(path, *extra)
 		}
-		fmt.Fprintf(stderr, "injected +%d on %s\n", *extra, c.PathString(path))
+		log.Info("injected extra delay", "extra", *extra, "path", c.PathString(path))
 	}
 	r, err := timingsim.Simulate(c, delays, tests[0])
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "circuit settles at t=%d\n", r.SettleTime())
+	log.Info("circuit settled", "t", r.SettleTime())
 
 	w := stdout
 	if *out != "" {

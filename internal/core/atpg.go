@@ -26,6 +26,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/faultsim"
 	"repro/internal/justify"
+	"repro/internal/obs"
 	"repro/internal/robust"
 	"repro/internal/tval"
 )
@@ -193,6 +194,9 @@ func Generate(c *circuit.Circuit, fcs []robust.FaultConditions, cfg Config) *Res
 // ctx.Err(). Cancellation is observed between primary targets and
 // between secondary candidates.
 func GenerateCtx(ctx context.Context, c *circuit.Circuit, fcs []robust.FaultConditions, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	g := newGenerator(c, fcs, cfg)
 	g.ctx = ctx
@@ -210,18 +214,37 @@ func GenerateCtx(ctx context.Context, c *circuit.Circuit, fcs []robust.FaultCond
 			continue
 		}
 		if cfg.Heuristic != Uncompacted {
-			test = g.addSecondariesPhased(pi, test, cube, res, setOf, 1)
+			test = g.compactTest(ctx, pi, test, cube, res, setOf, 1)
 		}
 		res.Tests = append(res.Tests, test)
-		g.dropDetected(test, nil)
+		g.simDrop(ctx, test)
 	}
 	g.fill(res)
 	res.Elapsed = time.Since(start)
 	res.JustifyStats = g.just.stats()
-	if ctx != nil {
-		return res, ctx.Err()
-	}
-	return res, nil
+	return res, ctx.Err()
+}
+
+// compactTest is addSecondariesPhased under a "compaction" span on the
+// job timeline — one span per generated test, attributed with the
+// secondary accept/reject deltas.
+func (g *generator) compactTest(ctx context.Context, primary int, test circuit.TwoPattern, cube robust.Cube, res *Result, setOf []int, k int) circuit.TwoPattern {
+	accepts, rejects := res.SecondaryAccepts, res.SecondaryRejects
+	_, span := obs.StartSpan(ctx, "compaction",
+		obs.String("heuristic", g.cfg.Heuristic.String()), obs.Int("test", len(res.Tests)))
+	test = g.addSecondariesPhased(primary, test, cube, res, setOf, k)
+	span.End(obs.Int("accepts", res.SecondaryAccepts-accepts),
+		obs.Int("rejects", res.SecondaryRejects-rejects))
+	return test
+}
+
+// simDrop is dropDetected under a "simulation" span on the job
+// timeline: the end-of-test fault simulation that drops the target
+// faults the finished test detects.
+func (g *generator) simDrop(ctx context.Context, test circuit.TwoPattern) {
+	_, span := obs.StartSpan(ctx, "simulation", obs.Int("faults", len(g.faults)))
+	g.dropDetected(test, nil)
+	span.End()
 }
 
 // EnrichResult reports a run of the enrichment procedure.

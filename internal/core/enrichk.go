@@ -39,6 +39,9 @@ func EnrichK(c *circuit.Circuit, sets [][]robust.FaultConditions, cfg Config) *E
 // ctx is canceled, returning the partial result together with
 // ctx.Err().
 func EnrichKCtx(ctx context.Context, c *circuit.Circuit, sets [][]robust.FaultConditions, cfg Config) (*EnrichKResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Heuristic == Uncompacted {
 		cfg.Heuristic = ValueBased
 	}
@@ -65,9 +68,9 @@ func EnrichKCtx(ctx context.Context, c *circuit.Circuit, sets [][]robust.FaultCo
 			res.PrimaryAborts++
 			continue
 		}
-		test = g.addSecondariesPhased(pi, test, cube, res, setOf, len(sets))
+		test = g.compactTest(ctx, pi, test, cube, res, setOf, len(sets))
 		res.Tests = append(res.Tests, test)
-		g.dropDetected(test, nil)
+		g.simDrop(ctx, test)
 	}
 	out := &EnrichKResult{
 		Tests:            res.Tests,
@@ -91,10 +94,7 @@ func EnrichKCtx(ctx context.Context, c *circuit.Circuit, sets [][]robust.FaultCo
 			idx++
 		}
 	}
-	if ctx != nil {
-		return out, ctx.Err()
-	}
-	return out, nil
+	return out, ctx.Err()
 }
 
 // pickPrimarySet picks the next primary from the given set.

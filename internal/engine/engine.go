@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"runtime"
 	"runtime/debug"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faultsim"
 	"repro/internal/journal"
+	"repro/internal/obs"
 	"repro/internal/retry"
 	"repro/internal/robust"
 	"repro/internal/testio"
@@ -90,6 +92,15 @@ type Config struct {
 	// chaos tests use it to inject panics, latency and simulated
 	// crashes (see chaos.go). nil disables injection.
 	Injector FaultInjector
+
+	// Logger receives the engine's structured job-lifecycle records
+	// (submit, start, retry, finish, journal health), each correlated
+	// by job_id. nil discards them.
+	Logger *slog.Logger
+	// TraceSpanLimit bounds each job's span timeline; 0 uses
+	// obs.DefaultSpanLimit. Spans past the limit are dropped and
+	// counted in the trace snapshot.
+	TraceSpanLimit int
 }
 
 // Engine runs jobs on a bounded worker pool. Create with New, release
@@ -99,6 +110,9 @@ type Engine struct {
 	metrics      *Metrics
 	cache        *cache
 	compactEvery int
+	log          *slog.Logger
+	registry     *obs.Registry
+	httpMetrics  *obs.HTTPMetrics
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -133,23 +147,37 @@ func New(cfg Config) *Engine {
 		compactEvery = 256
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	e := &Engine{
 		cfg:          cfg,
 		metrics:      newMetrics(),
 		cache:        newCache(cfg.CacheSize),
 		compactEvery: compactEvery,
+		log:          logger,
 		ctx:          ctx,
 		cancel:       cancel,
 		queue:        make(chan *Job, cfg.QueueDepth),
 		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
 		jobs:         make(map[string]*Job),
 	}
+	e.registry = buildRegistry(e)
+	e.httpMetrics = obs.NewHTTPMetrics(e.registry, "pdfd")
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
 	}
 	return e
 }
+
+// Registry returns the engine's Prometheus registry: job/cache/journal
+// counters, queue gauges, stage and job latency histograms, and the
+// HTTP metrics fed by the server middleware. Serve it with
+// obs.Registry.WritePrometheus (pdfd does, on /metrics and
+// /v1/metrics).
+func (e *Engine) Registry() *obs.Registry { return e.registry }
 
 // Submit validates and enqueues a job, returning it immediately.
 // Past the shed watermark it rejects with ErrOverloaded; on a full
@@ -163,6 +191,8 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 		e.updateWatermark()
 		if e.overloaded.Load() {
 			e.metrics.jobsShed.Add(1)
+			e.log.Warn("job shed", "kind", spec.Kind, "circuit", spec.Circuit,
+				"queue_depth", len(e.queue), "watermark", e.cfg.ShedWatermark)
 			return nil, ErrOverloaded
 		}
 	}
@@ -181,6 +211,10 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 		created:    time.Now(),
 		done:       make(chan struct{}),
 	}
+	j.initTrace(e.cfg.TraceSpanLimit,
+		obs.String("job_id", j.id),
+		obs.String("kind", string(spec.Kind)),
+		obs.String("circuit", spec.Circuit))
 	// Registration and enqueue share one critical section: a rejected
 	// job leaves no trace in jobs/order, and a job never lands in the
 	// queue after Close (which flips closed under the same mutex) has
@@ -204,7 +238,46 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 	// replay is order-insensitive.
 	e.journalAppend(journal.Record{Op: journal.OpSubmitted, JobID: j.id, Seq: j.seq, Spec: marshalSpec(spec)})
 	e.updateWatermark()
+	e.log.Debug("job submitted", "job_id", j.id, "kind", spec.Kind, "circuit", spec.Circuit)
 	return j, nil
+}
+
+// finish performs a terminal transition through markDone and, when it
+// won, records the end-of-job observability: status counter, the
+// end-to-end latency histogram, the root span, and a log record.
+func (e *Engine) finish(j *Job, st Status, res *Result, hit bool, err error) bool {
+	if !j.markDone(st, res, hit, err) {
+		return false
+	}
+	e.afterTerminal(j, st, err)
+	return true
+}
+
+// afterTerminal records the observability of a terminal transition
+// that already happened (markDone or cancelQueued returned true).
+func (e *Engine) afterTerminal(j *Job, st Status, err error) {
+	switch st {
+	case StatusDone:
+		e.metrics.jobsDone.Add(1)
+	case StatusFailed:
+		e.metrics.jobsFailed.Add(1)
+	case StatusCanceled:
+		e.metrics.jobsCanceled.Add(1)
+	}
+	d := time.Since(j.created)
+	e.metrics.jobSeconds.With(string(j.spec.Kind), string(st)).Observe(d.Seconds())
+	j.endQueued() // a job canceled while queued never reached runJob
+	j.endRoot(st)
+	attrs := []any{
+		"job_id", j.id, "kind", j.spec.Kind, "circuit", j.spec.Circuit,
+		"status", st, "attempts", j.attempts(),
+		"duration_ms", float64(d) / float64(time.Millisecond),
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		e.log.Error("job finished", append(attrs, "error", err.Error())...)
+		return
+	}
+	e.log.Info("job finished", attrs...)
 }
 
 // maxRetries resolves a job's retry budget.
@@ -231,20 +304,69 @@ func (e *Engine) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Jobs returns snapshots of all jobs in submission order.
+// Jobs returns snapshots of all jobs in submission order (without
+// span timelines; fetch a single job for its trace).
 func (e *Engine) Jobs() []JobView {
-	e.mu.Lock()
-	ids := append([]string(nil), e.order...)
-	jobs := make([]*Job, 0, len(ids))
-	for _, id := range ids {
-		jobs = append(jobs, e.jobs[id])
-	}
-	e.mu.Unlock()
+	jobs := e.jobsInOrder()
 	views := make([]JobView, len(jobs))
 	for i, j := range jobs {
-		views[i] = j.View()
+		views[i] = j.ViewLite()
 	}
 	return views
+}
+
+// jobsInOrder snapshots the job pointers in submission order.
+func (e *Engine) jobsInOrder() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	jobs := make([]*Job, 0, len(e.order))
+	for _, id := range e.order {
+		jobs = append(jobs, e.jobs[id])
+	}
+	return jobs
+}
+
+// JobsQuery filters and paginates a job listing.
+type JobsQuery struct {
+	// Status / Kind filter on the job's current status and kind; the
+	// zero value matches everything.
+	Status Status
+	Kind   Kind
+	// Limit caps the page size (<= 0 means no cap).
+	Limit int
+	// AfterSeq resumes after the job with this sequence number — the
+	// decoded form of the page token. Submission order is sequence
+	// order, so pagination is stable even as jobs keep completing.
+	AfterSeq int64
+}
+
+// JobsPage returns one page of job snapshots in submission order plus
+// the sequence number to resume after (0 when the listing is
+// exhausted). Status filtering reflects each job's status at snapshot
+// time; a job that changes status between pages may appear in neither
+// or both — the listing is eventually consistent, never blocking.
+func (e *Engine) JobsPage(q JobsQuery) ([]JobView, int64) {
+	jobs := e.jobsInOrder()
+	views := make([]JobView, 0, min(len(jobs), max(q.Limit, 0)))
+	for _, j := range jobs {
+		if j.seq <= q.AfterSeq {
+			continue
+		}
+		v := j.ViewLite()
+		if q.Status != "" && v.Status != q.Status {
+			continue
+		}
+		if q.Kind != "" && v.Kind != q.Kind {
+			continue
+		}
+		if q.Limit > 0 && len(views) == q.Limit {
+			// One past the page: report where to resume.
+			return views, views[len(views)-1].seq
+		}
+		v.seq = j.seq
+		views = append(views, v)
+	}
+	return views, 0
 }
 
 // Wait blocks until the job reaches a terminal status or ctx expires,
@@ -280,7 +402,7 @@ func (e *Engine) Cancel(id string) bool {
 		return false
 	}
 	if j.cancelQueued() {
-		e.metrics.jobsCanceled.Add(1)
+		e.afterTerminal(j, StatusCanceled, context.Canceled)
 		e.journalAppend(journal.Record{Op: journal.OpCanceled, JobID: j.id, Seq: j.seq})
 		return true
 	}
@@ -371,7 +493,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	// record, so they replay.
 	for _, j := range jobs {
 		if j.cancelQueued() {
-			e.metrics.jobsCanceled.Add(1)
+			e.afterTerminal(j, StatusCanceled, context.Canceled)
 		}
 	}
 	// Drain running jobs under the caller's deadline.
@@ -391,9 +513,7 @@ drain:
 	for {
 		select {
 		case j := <-e.queue:
-			if j.markDone(StatusCanceled, nil, false, context.Canceled) {
-				e.metrics.jobsCanceled.Add(1)
-			}
+			e.finish(j, StatusCanceled, nil, false, context.Canceled)
 		default:
 			return err
 		}
@@ -429,28 +549,40 @@ func (e *Engine) runJob(j *Job) {
 		ctx, cancel = context.WithTimeout(e.ctx, timeout)
 	}
 	j.status = StatusRunning
-	if j.started.IsZero() {
+	first := j.started.IsZero()
+	if first {
 		j.started = time.Now() // first attempt; retries keep the origin
 	}
 	j.attempt++
 	attempt := j.attempt
 	j.cancel = cancel
+	created, started := j.created, j.started
 	j.mu.Unlock()
 	defer cancel()
+
+	if first {
+		j.endQueued()
+		e.metrics.queueSeconds.Observe(started.Sub(created).Seconds())
+	}
+	// The run context keeps the engine's cancellation but gains the
+	// job's trace correlation, so every span below lands on the job
+	// timeline under the root span.
+	ctx = obs.Transplant(ctx, j.traceCtx)
+	ctx, attSpan := obs.StartSpan(ctx, "attempt", obs.Int("attempt", attempt))
+	e.log.Debug("job attempt started", "job_id", j.id, "attempt", attempt)
 
 	e.journalAppend(journal.Record{Op: journal.OpStarted, JobID: j.id, Seq: j.seq, Attempt: attempt})
 	e.metrics.jobsRunning.Add(1)
 	res, hit, err := e.executeShielded(ctx, j)
 	e.metrics.jobsRunning.Add(-1)
+	attSpan.End(obs.Bool("cache_hit", hit), obs.Bool("ok", err == nil))
 	switch {
 	case err == nil:
-		if j.markDone(StatusDone, res, hit, nil) {
-			e.metrics.jobsDone.Add(1)
+		if e.finish(j, StatusDone, res, hit, nil) {
 			e.journalAppend(journal.Record{Op: journal.OpDone, JobID: j.id, Seq: j.seq, Digest: res.CacheKey, Attempt: attempt})
 		}
 	case errors.Is(err, context.Canceled):
-		if j.markDone(StatusCanceled, nil, false, err) {
-			e.metrics.jobsCanceled.Add(1)
+		if e.finish(j, StatusCanceled, nil, false, err) {
 			// An engine-shutdown cancellation is deliberately not
 			// journaled: the job stays live on disk and replays on
 			// restart. A caller's cancel is final.
@@ -486,14 +618,11 @@ func (e *Engine) retryOrFail(j *Job, attempt int, err error) {
 	if e.ctx.Err() != nil {
 		// Engine shutting down: cancel in memory, keep the journal
 		// record live for replay.
-		if j.markDone(StatusCanceled, nil, false, context.Canceled) {
-			e.metrics.jobsCanceled.Add(1)
-		}
+		e.finish(j, StatusCanceled, nil, false, context.Canceled)
 		return
 	}
 	if attempt > j.maxRetries {
-		if j.markDone(StatusFailed, nil, false, err) {
-			e.metrics.jobsFailed.Add(1)
+		if e.finish(j, StatusFailed, nil, false, err) {
 			e.journalAppend(journal.Record{Op: journal.OpFailed, JobID: j.id, Seq: j.seq, Error: err.Error(), Attempt: attempt})
 		}
 		return
@@ -503,7 +632,10 @@ func (e *Engine) retryOrFail(j *Job, attempt int, err error) {
 	}
 	e.metrics.jobsRetried.Add(1)
 	e.journalAppend(journal.Record{Op: journal.OpRetrying, JobID: j.id, Seq: j.seq, Error: err.Error(), Attempt: attempt})
-	j.setRetryTimer(time.AfterFunc(e.retryDelay(attempt), func() { e.requeue(j) }))
+	delay := e.retryDelay(attempt)
+	e.log.Warn("job attempt failed, retrying", "job_id", j.id, "attempt", attempt,
+		"max_retries", j.maxRetries, "error", err.Error(), "backoff_ms", float64(delay)/float64(time.Millisecond))
+	j.setRetryTimer(time.AfterFunc(delay, func() { e.requeue(j) }))
 }
 
 // retryDelay returns the jittered backoff before retry number retryNum.
@@ -522,9 +654,7 @@ func (e *Engine) requeue(j *Job) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		if j.markDone(StatusCanceled, nil, false, context.Canceled) {
-			e.metrics.jobsCanceled.Add(1)
-		}
+		e.finish(j, StatusCanceled, nil, false, context.Canceled)
 		return
 	}
 	if !j.swapStatus(StatusRetrying, StatusQueued) {
@@ -552,6 +682,7 @@ func (e *Engine) journalAppend(r journal.Record) {
 	}
 	if err := log.Append(r); err != nil {
 		e.metrics.journalErrors.Add(1)
+		e.log.Error("journal append failed", "job_id", r.JobID, "op", string(r.Op), "error", err.Error())
 		return
 	}
 	e.metrics.journalAppends.Add(1)
@@ -573,9 +704,11 @@ func (e *Engine) maybeCompact() {
 	e.mu.Unlock()
 	if err := log.Compact(live); err != nil {
 		e.metrics.journalErrors.Add(1)
+		e.log.Error("journal compaction failed", "live_jobs", len(live), "error", err.Error())
 		return
 	}
 	e.metrics.journalCompactions.Add(1)
+	e.log.Debug("journal compacted", "live_jobs", len(live))
 }
 
 // liveRecordsLocked rebuilds the OpSubmitted records of every
@@ -633,6 +766,11 @@ func (e *Engine) Restore(recs []journal.Record) (int, error) {
 			created:    time.Now(),
 			done:       make(chan struct{}),
 		}
+		j.initTrace(e.cfg.TraceSpanLimit,
+			obs.String("job_id", j.id),
+			obs.String("kind", string(spec.Kind)),
+			obs.String("circuit", spec.Circuit),
+			obs.Bool("replayed", true))
 		e.mu.Lock()
 		if e.closed {
 			e.mu.Unlock()
@@ -685,23 +823,30 @@ func (e *Engine) execute(ctx context.Context, j *Job) (*Result, bool, error) {
 		return nil, false, err
 	}
 	t0 := time.Now()
+	prepCtx, prepSpan := obs.StartSpan(ctx, "prepare")
 	c := spec.Circ
 	if c == nil {
 		var err error
 		c, err = experiments.LoadCircuit(spec.Circuit)
 		if err != nil {
+			prepSpan.End()
 			return nil, false, err
 		}
 	}
-	d, err := experiments.PrepareCircuit(c, experiments.Params{NP: spec.NP, NP0: spec.NP0, Seed: spec.Seed})
+	d, err := experiments.PrepareCircuitCtx(prepCtx, c, experiments.Params{NP: spec.NP, NP0: spec.NP0, Seed: spec.Seed})
 	if err != nil {
+		prepSpan.End()
 		return nil, false, err
 	}
 	p0, p1 := d.P0, d.P1
 	if spec.Collapse {
+		_, cspan := obs.StartSpan(prepCtx, "collapse",
+			obs.Int("p0_before", len(p0)), obs.Int("p1_before", len(p1)))
 		p0 = collapseSet(p0)
 		p1 = collapseSet(p1)
+		cspan.End(obs.Int("p0_after", len(p0)), obs.Int("p1_after", len(p1)))
 	}
+	prepSpan.End(obs.Int("p0", len(p0)), obs.Int("p1", len(p1)))
 	e.stageDone(j, "prepare", time.Since(t0))
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
@@ -712,7 +857,10 @@ func (e *Engine) execute(ctx context.Context, j *Job) (*Result, bool, error) {
 	circuitHash := CircuitDigest(c)
 	key := cacheKey(circuitHash, configDigest(spec), faultSetDigest(p0, p1))
 	if !spec.NoCache {
-		if res, ok := e.cache.Get(key); ok {
+		res, ok := e.cache.Get(key)
+		_, lspan := obs.StartSpan(ctx, "cache_lookup", obs.Bool("hit", ok))
+		lspan.End()
+		if ok {
 			e.metrics.cacheHits.Add(1)
 			return res, true, nil
 		}
@@ -747,26 +895,38 @@ func (e *Engine) execute(ctx context.Context, j *Job) (*Result, bool, error) {
 	t1 := time.Now()
 	switch spec.Kind {
 	case KindGenerate:
-		gres, err := core.GenerateCtx(ctx, c, p0, cfg)
+		genCtx, genSpan := obs.StartSpan(ctx, "generation",
+			obs.String("heuristic", spec.Heuristic), obs.Int("targets", len(p0)))
+		gres, err := core.GenerateCtx(genCtx, c, p0, cfg)
 		if err != nil {
+			genSpan.End()
 			return nil, false, err
 		}
 		res.TestPatterns = gres.Tests
 		res.PrimaryAborts = gres.PrimaryAborts
 		res.P0Detected = gres.DetectedCount
+		genSpan.End(obs.Int("tests", len(gres.Tests)), obs.Int("aborts", gres.PrimaryAborts))
 		all := d.All()
 		res.AllTotal = len(all)
 		e.stageDone(j, "generate", time.Since(t1))
 		ts := time.Now()
-		n, err := faultsim.CountParallel(ctx, c, gres.Tests, all, workers)
+		simCtx, simSpan := obs.StartSpan(ctx, "simulation",
+			obs.Int("tests", len(gres.Tests)), obs.Int("faults", len(all)), obs.Int("workers", workers))
+		n, err := faultsim.CountParallel(simCtx, c, gres.Tests, all, workers)
 		if err != nil {
+			simSpan.End()
 			return nil, false, err
 		}
 		res.AllDetected = n
+		simSpan.End(obs.Int("detected", n))
 		e.stageDone(j, "simulate", time.Since(ts))
 	case KindEnrich:
-		er, err := core.EnrichCtx(ctx, c, p0, p1, cfg)
+		genCtx, genSpan := obs.StartSpan(ctx, "generation",
+			obs.String("heuristic", spec.Heuristic),
+			obs.Int("p0_targets", len(p0)), obs.Int("p1_targets", len(p1)))
+		er, err := core.EnrichCtx(genCtx, c, p0, p1, cfg)
 		if err != nil {
+			genSpan.End()
 			return nil, false, err
 		}
 		res.TestPatterns = er.Tests
@@ -775,6 +935,7 @@ func (e *Engine) execute(ctx context.Context, j *Job) (*Result, bool, error) {
 		res.P1Detected = er.DetectedP1Count
 		res.AllTotal = len(p0) + len(p1)
 		res.AllDetected = er.DetectedP0Count + er.DetectedP1Count
+		genSpan.End(obs.Int("tests", len(er.Tests)), obs.Int("aborts", er.PrimaryAborts))
 		e.stageDone(j, "enrich", time.Since(t1))
 	case KindFaultSim:
 		tests, err := testio.ReadTests(strings.NewReader(strings.Join(spec.Tests, "\n")), len(c.PIs))
@@ -782,8 +943,11 @@ func (e *Engine) execute(ctx context.Context, j *Job) (*Result, bool, error) {
 			return nil, false, err
 		}
 		all := d.All()
-		first, err := faultsim.RunParallel(ctx, c, tests, all, workers)
+		simCtx, simSpan := obs.StartSpan(ctx, "simulation",
+			obs.Int("tests", len(tests)), obs.Int("faults", len(all)), obs.Int("workers", workers))
+		first, err := faultsim.RunParallel(simCtx, c, tests, all, workers)
 		if err != nil {
+			simSpan.End()
 			return nil, false, err
 		}
 		res.TestPatterns = tests
@@ -794,6 +958,7 @@ func (e *Engine) execute(ctx context.Context, j *Job) (*Result, bool, error) {
 				res.Detected++
 			}
 		}
+		simSpan.End(obs.Int("detected", res.Detected))
 		e.stageDone(j, "faultsim", time.Since(t1))
 	}
 	res.Tests = make([]string, len(res.TestPatterns))

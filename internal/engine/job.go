@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Kind selects the procedure a job runs.
@@ -183,6 +184,15 @@ type Job struct {
 	spec       Spec
 	maxRetries int
 
+	// trace collects the job's span timeline; traceCtx carries the
+	// trace with the root "job" span current, so attempt contexts
+	// derived from it parent their spans correctly. Both are set once
+	// before the job is published and immutable after.
+	trace      *obs.Trace
+	traceCtx   context.Context
+	rootSpan   *obs.Span
+	queuedSpan *obs.Span
+
 	mu         sync.Mutex
 	status     Status
 	err        error
@@ -198,6 +208,34 @@ type Job struct {
 
 	done     chan struct{}
 	doneOnce sync.Once
+}
+
+// initTrace starts the job's span timeline: a root "job" span opened
+// at submit time with a "queued" child covering the wait for a worker.
+// Called once before the job is published to the engine maps.
+func (j *Job) initTrace(limit int, attrs ...obs.Attr) {
+	j.trace = obs.NewTrace(limit)
+	ctx := obs.NewContext(context.Background(), j.trace)
+	ctx, j.rootSpan = obs.StartSpan(ctx, "job", attrs...)
+	j.traceCtx = ctx
+	_, j.queuedSpan = obs.StartSpan(ctx, "queued")
+}
+
+// endQueued closes the queue-wait span (idempotent; retries re-enter
+// the queue but the span covers only the initial wait).
+func (j *Job) endQueued() { j.queuedSpan.End() }
+
+// endRoot closes the root span with the terminal status.
+func (j *Job) endRoot(st Status) { j.rootSpan.End(obs.String("status", string(st))) }
+
+// TraceView snapshots the job's span timeline; safe while running.
+func (j *Job) TraceView() obs.TraceView { return j.trace.Snapshot() }
+
+// attempts returns the number of runs started so far.
+func (j *Job) attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt
 }
 
 // ID returns the job's engine-unique identifier.
@@ -223,10 +261,27 @@ type JobView struct {
 	QueuedMS   float64 `json:"queued_ms"`
 	RunMS      float64 `json:"run_ms"`
 	Result     *Result `json:"result,omitempty"`
+	// Trace is the job's span timeline (single-job snapshots only;
+	// list endpoints omit it — fetch /v1/jobs/{id} or .../trace).
+	Trace *obs.TraceView `json:"trace,omitempty"`
+
+	// seq is the pagination cursor of JobsPage; never serialized.
+	seq int64
 }
 
-// View snapshots the job.
+// View snapshots the job, span timeline included.
 func (j *Job) View() JobView {
+	v := j.ViewLite()
+	if j.trace != nil {
+		tv := j.trace.Snapshot()
+		v.Trace = &tv
+	}
+	return v
+}
+
+// ViewLite snapshots the job without the span timeline; the job list
+// endpoints use it to keep large listings cheap.
+func (j *Job) ViewLite() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{

@@ -4,10 +4,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Metrics holds the engine's operational counters. All methods are
-// safe for concurrent use.
+// safe for concurrent use. The JSON Snapshot keeps the seed-era
+// summary shape; the obs histograms below additionally feed the
+// Prometheus exposition built by Engine.Registry.
 type Metrics struct {
 	jobsSubmitted atomic.Int64
 	jobsRunning   atomic.Int64
@@ -25,6 +29,13 @@ type Metrics struct {
 	journalErrors      atomic.Int64
 	journalCompactions atomic.Int64
 
+	// Fixed-bucket latency histograms (seconds): per pipeline stage,
+	// end-to-end per job (labeled by kind and terminal status), and
+	// queue wait between submit and the first run.
+	stageSeconds *obs.HistogramVec
+	jobSeconds   *obs.HistogramVec
+	queueSeconds *obs.Histogram
+
 	mu     sync.Mutex
 	stages map[string]*stageStat
 }
@@ -36,11 +47,21 @@ type stageStat struct {
 }
 
 func newMetrics() *Metrics {
-	return &Metrics{stages: make(map[string]*stageStat)}
+	return &Metrics{
+		stages: make(map[string]*stageStat),
+		stageSeconds: obs.NewHistogramVec("pdfd_stage_duration_seconds",
+			"Pipeline stage latency by stage name.", obs.DefBuckets, "stage"),
+		jobSeconds: obs.NewHistogramVec("pdfd_job_duration_seconds",
+			"End-to-end job latency (submit to terminal status), by kind and status.",
+			obs.DefBuckets, "kind", "status"),
+		queueSeconds: obs.NewHistogram("pdfd_job_queue_wait_seconds",
+			"Wait between job submission and its first run.", obs.DefBuckets),
+	}
 }
 
 // observeStage records one execution of a named pipeline stage.
 func (m *Metrics) observeStage(name string, d time.Duration) {
+	m.stageSeconds.With(name).Observe(d.Seconds())
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := m.stages[name]
@@ -94,6 +115,51 @@ type Snapshot struct {
 	// Stages reports per-stage latency (prepare, generate, enrich,
 	// faultsim, simulate).
 	Stages map[string]StageSnapshot `json:"stages"`
+}
+
+// buildRegistry wires the engine's counters, gauges and histograms
+// into a Prometheus registry. Counters are exposed through read
+// functions over the existing atomics so the JSON snapshot and the
+// exposition can never disagree.
+func buildRegistry(e *Engine) *obs.Registry {
+	m := e.metrics
+	ctr := func(name, help string, v *atomic.Int64) obs.Collector {
+		return obs.NewCounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	reg := obs.NewRegistry()
+	reg.MustRegister(
+		ctr("pdfd_jobs_submitted_total", "Jobs accepted by Submit.", &m.jobsSubmitted),
+		ctr("pdfd_jobs_done_total", "Jobs that reached status done.", &m.jobsDone),
+		ctr("pdfd_jobs_failed_total", "Jobs that exhausted their retry budget.", &m.jobsFailed),
+		ctr("pdfd_jobs_canceled_total", "Jobs canceled before completing.", &m.jobsCanceled),
+		ctr("pdfd_jobs_retried_total", "Attempts re-queued with backoff.", &m.jobsRetried),
+		ctr("pdfd_jobs_shed_total", "Submissions rejected past the shed watermark.", &m.jobsShed),
+		ctr("pdfd_job_panics_total", "Job attempts that panicked and were contained.", &m.jobPanics),
+		ctr("pdfd_cache_hits_total", "Result cache hits.", &m.cacheHits),
+		ctr("pdfd_cache_misses_total", "Result cache misses.", &m.cacheMisses),
+		ctr("pdfd_cache_puts_total", "Result cache stores.", &m.cachePuts),
+		ctr("pdfd_journal_appends_total", "Journal records appended.", &m.journalAppends),
+		ctr("pdfd_journal_errors_total", "Journal append/compact failures.", &m.journalErrors),
+		ctr("pdfd_journal_compactions_total", "Journal compactions completed.", &m.journalCompactions),
+		obs.NewGaugeFunc("pdfd_jobs_running", "Jobs currently executing.",
+			func() float64 { return float64(m.jobsRunning.Load()) }),
+		obs.NewGaugeFunc("pdfd_queue_depth", "Instantaneous run-queue occupancy.",
+			func() float64 { return float64(len(e.queue)) }),
+		obs.NewGaugeFunc("pdfd_overloaded", "1 while the shed watermark is tripped.",
+			func() float64 { return b2f(e.overloaded.Load()) }),
+		obs.NewGaugeFunc("pdfd_cache_entries", "Result cache occupancy.",
+			func() float64 { return float64(e.cache.Len()) }),
+		m.stageSeconds,
+		m.jobSeconds,
+		m.queueSeconds,
+	)
+	return reg
 }
 
 func (m *Metrics) snapshot(cacheLen int) Snapshot {

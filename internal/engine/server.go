@@ -3,95 +3,298 @@ package engine
 import (
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
+	"regexp"
+	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// NewServer returns the JSON API handler served by cmd/pdfd:
+// Stable machine-readable error codes of the /v1 error envelope. Every
+// error response, versioned or legacy, carries one:
 //
-//	POST   /jobs       submit a job (body: Spec) → 202 JobView
-//	GET    /jobs       list all jobs
-//	GET    /jobs/{id}  job snapshot; ?wait=5s blocks until terminal
-//	DELETE /jobs/{id}  cancel a queued or running job
-//	GET    /healthz    liveness probe; 503 "overloaded" past the shed watermark
-//	GET    /metrics    engine counters (Snapshot)
-func NewServer(e *Engine) http.Handler {
+//	{"error": {"code": "overloaded", "message": "...", "retry_after_ms": 1000}}
+const (
+	// CodeOverloaded: the submission was shed (watermark) or the queue
+	// is hard-full; retry after error.retry_after_ms.
+	CodeOverloaded = "overloaded"
+	// CodeNotFound: no job with that ID.
+	CodeNotFound = "not_found"
+	// CodeInvalidSpec: the request body or query parameters do not
+	// validate (unknown job kind, unknown field, bad pagination token).
+	CodeInvalidSpec = "invalid_spec"
+	// CodeEngineClosed: the engine is shutting down and accepts no work.
+	CodeEngineClosed = "engine_closed"
+)
+
+// APIError is the error half of the envelope; exported so clients and
+// tests can unmarshal it.
+type APIError struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+type errorEnvelope struct {
+	Error APIError `json:"error"`
+}
+
+// JobListPage is the /v1/jobs response: one page of jobs in submission
+// order plus the token to resume from (absent on the last page).
+type JobListPage struct {
+	Jobs          []JobView `json:"jobs"`
+	NextPageToken string    `json:"next_page_token,omitempty"`
+}
+
+// ServerConfig customizes NewServerWith.
+type ServerConfig struct {
+	// Logger receives one access-log record per request; nil disables
+	// access logging.
+	Logger *slog.Logger
+	// Registry is the Prometheus registry served on /metrics and
+	// /v1/metrics; nil uses the engine's own (the right choice unless
+	// a front-end aggregates several engines).
+	Registry *obs.Registry
+}
+
+// NewServer returns the JSON API handler served by cmd/pdfd. The
+// canonical surface is versioned under /v1:
+//
+//	POST   /v1/jobs            submit a job (body: Spec) → 202 JobView
+//	GET    /v1/jobs            list jobs; ?status= ?kind= ?limit= ?page_token=
+//	GET    /v1/jobs/{id}       job snapshot with span timeline; ?wait=5s blocks
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /v1/jobs/{id}/trace the job's span timeline alone
+//	GET    /v1/healthz         liveness probe; 503 "overloaded" past the watermark
+//	GET    /v1/metrics         Prometheus text-format exposition
+//	GET    /v1/metrics.json    the JSON counter snapshot (Snapshot)
+//
+// The seed-era unversioned routes (/jobs, /jobs/{id}, /healthz,
+// /metrics) still answer, marked with a Deprecation header and a Link
+// to their successor; /metrics now serves the Prometheus text format
+// (the JSON snapshot moved to /v1/metrics.json). Errors use one
+// envelope everywhere — see APIError.
+func NewServer(e *Engine) http.Handler { return NewServerWith(e, ServerConfig{}) }
+
+// NewServerWith is NewServer with access logging and a metrics
+// registry override.
+func NewServerWith(e *Engine, sc ServerConfig) http.Handler {
+	if sc.Registry == nil {
+		sc.Registry = e.Registry()
+	}
+	s := &server{e: e, cfg: sc}
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
-		var spec Spec
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&spec); err != nil {
-			httpError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
-			return
+	// route registers pattern with the observability middleware;
+	// successor != "" marks the route as a deprecated alias of it.
+	route := func(pattern, name, successor string, h http.HandlerFunc) {
+		var hh http.Handler = h
+		if successor != "" {
+			hh = deprecated(successor, hh)
 		}
-		j, err := e.Submit(spec)
-		switch {
-		case err == nil:
-			writeJSON(w, http.StatusAccepted, j.View())
-		case errors.Is(err, ErrOverloaded), errors.Is(err, ErrBusy):
-			// Backpressure, not failure: tell well-behaved clients
-			// when to try again.
-			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusServiceUnavailable, err.Error())
-		case errors.Is(err, ErrClosed):
-			httpError(w, http.StatusServiceUnavailable, err.Error())
-		default:
-			httpError(w, http.StatusBadRequest, err.Error())
-		}
-	})
+		mux.Handle(pattern, obs.Middleware(name, sc.Logger, e.httpMetrics, hh))
+	}
 
-	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Jobs())
-	})
+	route("POST /v1/jobs", "jobs.submit", "", s.submit)
+	route("GET /v1/jobs", "jobs.list", "", s.listV1)
+	route("GET /v1/jobs/{id}", "jobs.get", "", s.get)
+	route("DELETE /v1/jobs/{id}", "jobs.cancel", "", s.cancel)
+	route("GET /v1/jobs/{id}/trace", "jobs.trace", "", s.trace)
+	route("GET /v1/healthz", "healthz", "", s.healthz)
+	route("GET /v1/metrics", "metrics", "", s.metricsProm)
+	route("GET /v1/metrics.json", "metrics.json", "", s.metricsJSON)
 
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id := r.PathValue("id")
-		j, ok := e.Get(id)
-		if !ok {
-			httpError(w, http.StatusNotFound, "unknown job "+id)
-			return
-		}
-		if waitArg := r.URL.Query().Get("wait"); waitArg != "" {
-			d, err := time.ParseDuration(waitArg)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, "bad wait duration: "+err.Error())
-				return
-			}
-			select {
-			case <-j.Done():
-			case <-time.After(d):
-			case <-r.Context().Done():
-			}
-		}
-		writeJSON(w, http.StatusOK, j.View())
-	})
-
-	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id := r.PathValue("id")
-		if _, ok := e.Get(id); !ok {
-			httpError(w, http.StatusNotFound, "unknown job "+id)
-			return
-		}
-		canceled := e.Cancel(id)
-		writeJSON(w, http.StatusOK, map[string]any{"id": id, "canceled": canceled})
-	})
-
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		if e.Overloaded() {
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "overloaded"})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
-	})
-
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Metrics())
-	})
+	route("POST /jobs", "jobs.submit", "/v1/jobs", s.submit)
+	route("GET /jobs", "jobs.list", "/v1/jobs", s.listLegacy)
+	route("GET /jobs/{id}", "jobs.get", "/v1/jobs/{id}", s.get)
+	route("DELETE /jobs/{id}", "jobs.cancel", "/v1/jobs/{id}", s.cancel)
+	route("GET /healthz", "healthz", "/v1/healthz", s.healthz)
+	route("GET /metrics", "metrics", "/v1/metrics", s.metricsProm)
 
 	return mux
+}
+
+// deprecated marks a legacy route per RFC 9745/8594 conventions: a
+// Deprecation header plus a Link to the successor route.
+func deprecated(successor string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+		next.ServeHTTP(w, r)
+	})
+}
+
+type server struct {
+	e   *Engine
+	cfg ServerConfig
+}
+
+var unknownFieldRE = regexp.MustCompile(`unknown field "([^"]*)"`)
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		msg := "bad job spec: " + err.Error()
+		if m := unknownFieldRE.FindStringSubmatch(err.Error()); m != nil {
+			msg = "unknown field " + strconv.Quote(m[1]) + " in job spec"
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, msg, 0)
+		return
+	}
+	j, err := s.e.Submit(spec)
+	switch {
+	case err == nil:
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Info("job submitted",
+				"request_id", obs.RequestID(r.Context()), "job_id", j.ID(),
+				"kind", spec.Kind, "circuit", spec.Circuit)
+		}
+		writeJSON(w, http.StatusAccepted, j.View())
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrBusy):
+		// Backpressure, not failure: tell well-behaved clients when to
+		// try again.
+		writeError(w, http.StatusServiceUnavailable, CodeOverloaded, err.Error(), time.Second)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, CodeEngineClosed, err.Error(), 0)
+	default:
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error(), 0)
+	}
+}
+
+// defaultPageLimit and maxPageLimit bound /v1/jobs pages; a journal
+// can replay thousands of jobs, and unbounded listings stop scaling.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+func (s *server) listV1(w http.ResponseWriter, r *http.Request) {
+	q := JobsQuery{Limit: defaultPageLimit}
+	qs := r.URL.Query()
+	if v := qs.Get("status"); v != "" {
+		switch st := Status(v); st {
+		case StatusQueued, StatusRunning, StatusRetrying, StatusDone, StatusFailed, StatusCanceled:
+			q.Status = st
+		default:
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec, "unknown status "+strconv.Quote(v), 0)
+			return
+		}
+	}
+	if v := qs.Get("kind"); v != "" {
+		switch k := Kind(v); k {
+		case KindGenerate, KindEnrich, KindFaultSim:
+			q.Kind = k
+		default:
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec, "unknown kind "+strconv.Quote(v), 0)
+			return
+		}
+	}
+	if v := qs.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec, "bad limit "+strconv.Quote(v), 0)
+			return
+		}
+		q.Limit = min(n, maxPageLimit)
+	}
+	if v := qs.Get("page_token"); v != "" {
+		seq, err := decodePageToken(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec, "bad page_token "+strconv.Quote(v), 0)
+			return
+		}
+		q.AfterSeq = seq
+	}
+	views, nextSeq := s.e.JobsPage(q)
+	page := JobListPage{Jobs: views}
+	if nextSeq > 0 {
+		page.NextPageToken = encodePageToken(nextSeq)
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// The page token is the submission sequence number of the last job on
+// the page, prefixed for a little opacity; treat it as opaque.
+func encodePageToken(seq int64) string { return "s" + strconv.FormatInt(seq, 10) }
+
+func decodePageToken(tok string) (int64, error) {
+	if len(tok) < 2 || tok[0] != 's' {
+		return 0, errors.New("bad token")
+	}
+	seq, err := strconv.ParseInt(tok[1:], 10, 64)
+	if err != nil || seq < 0 {
+		return 0, errors.New("bad token")
+	}
+	return seq, nil
+}
+
+// listLegacy keeps the seed response shape: a bare array of every job.
+func (s *server) listLegacy(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.e.Jobs())
+}
+
+func (s *server) get(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.e.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job "+id, 0)
+		return
+	}
+	if waitArg := r.URL.Query().Get("wait"); waitArg != "" {
+		d, err := time.ParseDuration(waitArg)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec, "bad wait duration: "+err.Error(), 0)
+			return
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(d):
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.e.Get(id); !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job "+id, 0)
+		return
+	}
+	canceled := s.e.Cancel(id)
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "canceled": canceled})
+}
+
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.e.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job "+id, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job_id": id, "trace": j.TraceView()})
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	if s.e.Overloaded() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "overloaded"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *server) metricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Registry.WritePrometheus(w)
+}
+
+func (s *server) metricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.e.Metrics())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -102,6 +305,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]any{"error": msg})
+// writeError emits the unified error envelope; retryAfter > 0 also
+// sets the Retry-After header (whole seconds, rounded up).
+func writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	env := errorEnvelope{Error: APIError{Code: code, Message: msg}}
+	if retryAfter > 0 {
+		env.Error.RetryAfterMS = retryAfter.Milliseconds()
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, env)
 }

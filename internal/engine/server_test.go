@@ -4,11 +4,16 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func newTestServer(t *testing.T) (*Engine, *httptest.Server) {
@@ -60,37 +65,35 @@ func readBody(t *testing.T, resp *http.Response) []byte {
 	return buf.Bytes()
 }
 
+// submitWait submits a spec and blocks until the job is terminal.
+func submitWait(t *testing.T, base string, spec map[string]any) JobView {
+	t.Helper()
+	resp, body := postJSON(t, base+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs = %d: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !v.Status.Terminal() {
+		getJSON(t, base+"/v1/jobs/"+v.ID+"?wait=2s", &v)
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", v.ID, v.Status)
+		}
+	}
+	return v
+}
+
 // The acceptance flow: submit an enrichment job over HTTP, poll it,
 // fetch the result, resubmit and get the cached answer.
 func TestServerEnrichmentEndToEnd(t *testing.T) {
 	_, srv := newTestServer(t)
 
-	resp, body := postJSON(t, srv.URL+"/jobs", map[string]any{
+	done := submitWait(t, srv.URL, map[string]any{
 		"kind": "enrich", "circuit": "s27", "np0": 10, "seed": 1,
 	})
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("POST /jobs = %d: %s", resp.StatusCode, body)
-	}
-	var submitted JobView
-	if err := json.Unmarshal(body, &submitted); err != nil {
-		t.Fatal(err)
-	}
-	if submitted.ID == "" {
-		t.Fatalf("no job id in %s", body)
-	}
-
-	// Poll until terminal (the ?wait form blocks server-side).
-	var done JobView
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		getJSON(t, srv.URL+"/jobs/"+submitted.ID+"?wait=2s", &done)
-		if done.Status.Terminal() {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job stuck in %s", done.Status)
-		}
-	}
 	if done.Status != StatusDone {
 		t.Fatalf("job %s: %s", done.Status, done.Error)
 	}
@@ -105,19 +108,14 @@ func TestServerEnrichmentEndToEnd(t *testing.T) {
 	}
 
 	// Identical resubmission: answered from cache, visible in metrics.
-	_, body = postJSON(t, srv.URL+"/jobs", map[string]any{
+	again := submitWait(t, srv.URL, map[string]any{
 		"kind": "enrich", "circuit": "s27", "np0": 10, "seed": 1,
 	})
-	var again JobView
-	if err := json.Unmarshal(body, &again); err != nil {
-		t.Fatal(err)
-	}
-	getJSON(t, srv.URL+"/jobs/"+again.ID+"?wait=20s", &again)
 	if again.Status != StatusDone || !again.CacheHit {
 		t.Fatalf("resubmission: status %s cache_hit %t", again.Status, again.CacheHit)
 	}
 	var m Snapshot
-	getJSON(t, srv.URL+"/metrics", &m)
+	getJSON(t, srv.URL+"/v1/metrics.json", &m)
 	if m.CacheHits < 1 {
 		t.Errorf("metrics cache_hits = %d, want >= 1", m.CacheHits)
 	}
@@ -135,18 +133,22 @@ func TestServerEnrichmentEndToEnd(t *testing.T) {
 func TestServerHealthAndListing(t *testing.T) {
 	_, srv := newTestServer(t)
 	var health map[string]any
-	resp := getJSON(t, srv.URL+"/healthz", &health)
+	resp := getJSON(t, srv.URL+"/v1/healthz", &health)
 	if resp.StatusCode != http.StatusOK || health["status"] != "ok" {
 		t.Errorf("healthz: %d %v", resp.StatusCode, health)
 	}
-	_, body := postJSON(t, srv.URL+"/jobs", map[string]any{
+	v := submitWait(t, srv.URL, map[string]any{
 		"kind": "generate", "circuit": "s27", "np0": 10,
 	})
-	var v JobView
-	if err := json.Unmarshal(body, &v); err != nil {
-		t.Fatal(err)
+	var page JobListPage
+	getJSON(t, srv.URL+"/v1/jobs", &page)
+	if len(page.Jobs) != 1 || page.Jobs[0].ID != v.ID {
+		t.Errorf("GET /v1/jobs listed %+v", page.Jobs)
 	}
-	getJSON(t, srv.URL+"/jobs/"+v.ID+"?wait=20s", &v)
+	if page.NextPageToken != "" {
+		t.Errorf("single-page listing has next_page_token %q", page.NextPageToken)
+	}
+	// The legacy route still answers with the seed shape: a bare array.
 	var list []JobView
 	getJSON(t, srv.URL+"/jobs", &list)
 	if len(list) != 1 || list[0].ID != v.ID {
@@ -154,54 +156,16 @@ func TestServerHealthAndListing(t *testing.T) {
 	}
 }
 
-func TestServerErrors(t *testing.T) {
-	_, srv := newTestServer(t)
-
-	// Invalid spec → 400.
-	resp, _ := postJSON(t, srv.URL+"/jobs", map[string]any{"kind": "explode", "circuit": "s27"})
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("bad kind = %d, want 400", resp.StatusCode)
-	}
-	// Unknown field → 400 (DisallowUnknownFields).
-	resp, _ = postJSON(t, srv.URL+"/jobs", map[string]any{"kind": "generate", "circuit": "s27", "bogus": 1})
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("unknown field = %d, want 400", resp.StatusCode)
-	}
-	// Unknown job → 404.
-	if resp := getJSON(t, srv.URL+"/jobs/j999", nil); resp.StatusCode != http.StatusNotFound {
-		t.Errorf("unknown job = %d, want 404", resp.StatusCode)
-	}
-	// Bad wait duration → 400.
-	_, body := postJSON(t, srv.URL+"/jobs", map[string]any{"kind": "generate", "circuit": "s27", "np0": 10})
-	var v JobView
-	if err := json.Unmarshal(body, &v); err != nil {
-		t.Fatal(err)
-	}
-	if resp := getJSON(t, srv.URL+"/jobs/"+v.ID+"?wait=never", nil); resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("bad wait = %d, want 400", resp.StatusCode)
-	}
-	// DELETE unknown → 404.
-	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/j999", nil)
-	dresp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	readBody(t, dresp)
-	if dresp.StatusCode != http.StatusNotFound {
-		t.Errorf("DELETE unknown = %d, want 404", dresp.StatusCode)
-	}
-}
-
 func TestServerCancelJob(t *testing.T) {
 	_, srv := newTestServer(t)
-	_, body := postJSON(t, srv.URL+"/jobs", map[string]any{
+	_, body := postJSON(t, srv.URL+"/v1/jobs", map[string]any{
 		"kind": "enrich", "circuit": "s1423", "np": 2000, "np0": 300, "seed": 1,
 	})
 	var v JobView
 	if err := json.Unmarshal(body, &v); err != nil {
 		t.Fatal(err)
 	}
-	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+v.ID, nil)
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+v.ID, nil)
 	dresp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -210,14 +174,549 @@ func TestServerCancelJob(t *testing.T) {
 	if dresp.StatusCode != http.StatusOK {
 		t.Fatalf("DELETE = %d: %s", dresp.StatusCode, b)
 	}
-	getJSON(t, fmt.Sprintf("%s/jobs/%s?wait=5s", srv.URL, v.ID), &v)
+	getJSON(t, fmt.Sprintf("%s/v1/jobs/%s?wait=5s", srv.URL, v.ID), &v)
 	if v.Status != StatusCanceled {
 		t.Errorf("status after cancel = %s", v.Status)
 	}
 }
 
+// Every error response carries the unified envelope with a stable
+// machine-readable code, on both the /v1 and legacy routes.
+func TestServerErrorEnvelope(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	do := func(method, path string, body any) (*http.Response, []byte) {
+		t.Helper()
+		var rd *bytes.Reader
+		if body != nil {
+			b, err := json.Marshal(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd = bytes.NewReader(b)
+		} else {
+			rd = bytes.NewReader(nil)
+		}
+		req, err := http.NewRequest(method, srv.URL+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, readBody(t, resp)
+	}
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       any
+		wantStatus int
+		wantCode   string
+		wantInMsg  string
+	}{
+		{"bad kind", http.MethodPost, "/v1/jobs",
+			map[string]any{"kind": "explode", "circuit": "s27"},
+			http.StatusBadRequest, CodeInvalidSpec, ""},
+		{"unknown field", http.MethodPost, "/v1/jobs",
+			map[string]any{"kind": "generate", "circuit": "s27", "bogus": 1},
+			http.StatusBadRequest, CodeInvalidSpec, `unknown field "bogus"`},
+		{"unknown job", http.MethodGet, "/v1/jobs/j999", nil,
+			http.StatusNotFound, CodeNotFound, "j999"},
+		{"unknown job trace", http.MethodGet, "/v1/jobs/j999/trace", nil,
+			http.StatusNotFound, CodeNotFound, "j999"},
+		{"cancel unknown job", http.MethodDelete, "/v1/jobs/j999", nil,
+			http.StatusNotFound, CodeNotFound, "j999"},
+		{"bad wait", http.MethodGet, "/v1/jobs/j999x?wait=never", nil,
+			http.StatusNotFound, CodeNotFound, ""}, // unknown id wins over bad wait
+		{"bad status filter", http.MethodGet, "/v1/jobs?status=exploded", nil,
+			http.StatusBadRequest, CodeInvalidSpec, "exploded"},
+		{"bad kind filter", http.MethodGet, "/v1/jobs?kind=exploded", nil,
+			http.StatusBadRequest, CodeInvalidSpec, "exploded"},
+		{"bad limit", http.MethodGet, "/v1/jobs?limit=-3", nil,
+			http.StatusBadRequest, CodeInvalidSpec, "limit"},
+		{"bad page token", http.MethodGet, "/v1/jobs?page_token=zzz", nil,
+			http.StatusBadRequest, CodeInvalidSpec, "page_token"},
+		{"legacy bad kind", http.MethodPost, "/jobs",
+			map[string]any{"kind": "explode", "circuit": "s27"},
+			http.StatusBadRequest, CodeInvalidSpec, ""},
+		{"legacy unknown job", http.MethodGet, "/jobs/j999", nil,
+			http.StatusNotFound, CodeNotFound, "j999"},
+	}
+	for _, c := range cases {
+		resp, body := do(c.method, c.path, c.body)
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.wantStatus, body)
+			continue
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Errorf("%s: body is not the error envelope: %s", c.name, body)
+			continue
+		}
+		if env.Error.Code != c.wantCode {
+			t.Errorf("%s: code %q, want %q", c.name, env.Error.Code, c.wantCode)
+		}
+		if env.Error.Message == "" {
+			t.Errorf("%s: empty error message", c.name)
+		}
+		if c.wantInMsg != "" && !strings.Contains(env.Error.Message, c.wantInMsg) {
+			t.Errorf("%s: message %q does not mention %q", c.name, env.Error.Message, c.wantInMsg)
+		}
+	}
+
+	// A bad wait on an existing job is invalid_spec.
+	v := submitWait(t, srv.URL, map[string]any{"kind": "generate", "circuit": "s27", "np0": 10})
+	resp, body := do(http.MethodGet, "/v1/jobs/"+v.ID+"?wait=never", nil)
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("bad wait body: %s", body)
+	}
+	if resp.StatusCode != http.StatusBadRequest || env.Error.Code != CodeInvalidSpec {
+		t.Errorf("bad wait = %d/%q, want 400/%q", resp.StatusCode, env.Error.Code, CodeInvalidSpec)
+	}
+}
+
+// A shed submission returns the overloaded envelope with a retry hint;
+// a closed engine returns engine_closed.
+func TestServerOverloadedAndClosed(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 4, ShedWatermark: 1})
+	srv := httptest.NewServer(NewServer(e))
+	defer srv.Close()
+	defer e.Close()
+
+	// Occupy the worker with a slow job, then flood the queue until
+	// the watermark sheds a submission.
+	slow := map[string]any{"kind": "enrich", "circuit": "s1423", "np": 2000, "np0": 300, "seed": 1}
+	var sawOverloaded bool
+	for i := 0; i < 8 && !sawOverloaded; i++ {
+		spec := map[string]any{"kind": "enrich", "circuit": "s1423", "np": 2000, "np0": 300, "seed": i}
+		if i == 0 {
+			spec = slow
+		}
+		resp, body := postJSON(t, srv.URL+"/v1/jobs", spec)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			var env errorEnvelope
+			if err := json.Unmarshal(body, &env); err != nil {
+				t.Fatalf("503 body not an envelope: %s", body)
+			}
+			if env.Error.Code != CodeOverloaded {
+				t.Fatalf("503 code %q, want %q", env.Error.Code, CodeOverloaded)
+			}
+			if env.Error.RetryAfterMS <= 0 {
+				t.Errorf("overloaded envelope has retry_after_ms %d, want > 0", env.Error.RetryAfterMS)
+			}
+			if resp.Header.Get("Retry-After") == "" {
+				t.Errorf("overloaded response missing Retry-After header")
+			}
+			sawOverloaded = true
+		}
+	}
+	if !sawOverloaded {
+		t.Fatalf("never saw a 503 overloaded across the flood")
+	}
+
+	e2 := New(Config{Workers: 1})
+	srv2 := httptest.NewServer(NewServer(e2))
+	defer srv2.Close()
+	e2.Close()
+	resp, body := postJSON(t, srv2.URL+"/v1/jobs", map[string]any{"kind": "generate", "circuit": "s27", "np0": 10})
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("closed body not an envelope: %s", body)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || env.Error.Code != CodeEngineClosed {
+		t.Errorf("closed engine = %d/%q, want 503/%q", resp.StatusCode, env.Error.Code, CodeEngineClosed)
+	}
+}
+
+// /v1/jobs pages stably through a listing with keyset tokens and
+// applies status and kind filters.
+func TestServerJobListPagination(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	var want []string
+	for i := 0; i < 5; i++ {
+		v := submitWait(t, srv.URL, map[string]any{
+			"kind": "generate", "circuit": "s27", "np0": 10, "seed": i + 1,
+		})
+		want = append(want, v.ID)
+	}
+
+	// Walk the listing two jobs at a time.
+	var got []string
+	url := srv.URL + "/v1/jobs?limit=2"
+	for pages := 0; ; pages++ {
+		if pages > 5 {
+			t.Fatalf("pagination did not terminate: %v", got)
+		}
+		var page JobListPage
+		getJSON(t, url, &page)
+		if len(page.Jobs) > 2 {
+			t.Fatalf("page of %d jobs, limit 2", len(page.Jobs))
+		}
+		for _, v := range page.Jobs {
+			got = append(got, v.ID)
+		}
+		if page.NextPageToken == "" {
+			break
+		}
+		url = srv.URL + "/v1/jobs?limit=2&page_token=" + page.NextPageToken
+	}
+	if !sort.StringsAreSorted(want) {
+		// Job IDs are j1, j2... — submission order is lexicographic
+		// here only because n < 10; compare as sequences regardless.
+		t.Logf("want order: %v", want)
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("paged listing %v, want %v (submission order)", got, want)
+	}
+
+	// Filters: everything is done, nothing is running.
+	var page JobListPage
+	getJSON(t, srv.URL+"/v1/jobs?status=done", &page)
+	if len(page.Jobs) != 5 {
+		t.Errorf("status=done listed %d jobs, want 5", len(page.Jobs))
+	}
+	getJSON(t, srv.URL+"/v1/jobs?status=running", &page)
+	if len(page.Jobs) != 0 {
+		t.Errorf("status=running listed %d jobs, want 0", len(page.Jobs))
+	}
+	getJSON(t, srv.URL+"/v1/jobs?kind=enrich", &page)
+	if len(page.Jobs) != 0 {
+		t.Errorf("kind=enrich listed %d jobs, want 0", len(page.Jobs))
+	}
+	getJSON(t, srv.URL+"/v1/jobs?kind=generate&limit=3", &page)
+	if len(page.Jobs) != 3 || page.NextPageToken == "" {
+		t.Errorf("kind=generate&limit=3: %d jobs, token %q", len(page.Jobs), page.NextPageToken)
+	}
+}
+
+// The unversioned seed routes still answer, marked deprecated and
+// pointing at their successors; /v1 routes are not marked.
+func TestServerDeprecatedAliases(t *testing.T) {
+	_, srv := newTestServer(t)
+	aliases := []struct{ old, successor string }{
+		{"/healthz", "/v1/healthz"},
+		{"/jobs", "/v1/jobs"},
+		{"/metrics", "/v1/metrics"},
+	}
+	for _, a := range aliases {
+		resp := getJSON(t, srv.URL+a.old, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", a.old, resp.StatusCode)
+		}
+		if dep := resp.Header.Get("Deprecation"); dep != "true" {
+			t.Errorf("GET %s: Deprecation header %q, want \"true\"", a.old, dep)
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, a.successor) {
+			t.Errorf("GET %s: Link header %q does not point at %s", a.old, link, a.successor)
+		}
+	}
+	for _, path := range []string{"/v1/healthz", "/v1/jobs", "/v1/metrics", "/v1/metrics.json"} {
+		resp := getJSON(t, srv.URL+path, nil)
+		if resp.Header.Get("Deprecation") != "" {
+			t.Errorf("GET %s is marked deprecated", path)
+		}
+	}
+}
+
+// promSeries is one parsed exposition sample: name, sorted label
+// string, value.
+type promSeries struct {
+	labels string
+	value  float64
+}
+
+// parsePromText is a strict hand-rolled parser for the Prometheus text
+// exposition format v0.0.4, returning samples per metric name and the
+// TYPE declarations. It fails the test on any malformed line.
+func parsePromText(t *testing.T, text string) (map[string][]promSeries, map[string]string) {
+	t.Helper()
+	samples := make(map[string][]promSeries)
+	types := make(map[string]string)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", ln+1, f[3])
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or comment
+		}
+		// name{label="v",...} value  |  name value
+		rest := line
+		name := rest
+		labels := ""
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			name = rest[:i]
+			j := strings.LastIndexByte(rest, '}')
+			if j < i {
+				t.Fatalf("line %d: unbalanced braces: %q", ln+1, line)
+			}
+			labels = rest[i+1 : j]
+			rest = rest[j+1:]
+		} else {
+			k := strings.IndexByte(rest, ' ')
+			if k < 0 {
+				t.Fatalf("line %d: no value: %q", ln+1, line)
+			}
+			name = rest[:k]
+			rest = rest[k:]
+		}
+		valStr := strings.TrimSpace(rest)
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" && valStr != "-Inf" && valStr != "NaN" {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		if name == "" {
+			t.Fatalf("line %d: empty metric name: %q", ln+1, line)
+		}
+		samples[name] = append(samples[name], promSeries{labels: labels, value: val})
+	}
+	return samples, types
+}
+
+// /v1/metrics (and the deprecated /metrics alias) serve parseable
+// Prometheus text with coherent histogram series.
+func TestServerPrometheusExposition(t *testing.T) {
+	_, srv := newTestServer(t)
+	submitWait(t, srv.URL, map[string]any{"kind": "enrich", "circuit": "s27", "np0": 10, "seed": 1})
+
+	resp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q, want text/plain version=0.0.4", ct)
+	}
+	samples, types := parsePromText(t, string(body))
+
+	// The lifecycle counters exist and reflect the finished job.
+	for _, name := range []string{
+		"pdfd_jobs_submitted_total", "pdfd_jobs_done_total", "pdfd_jobs_failed_total",
+		"pdfd_jobs_shed_total", "pdfd_job_panics_total", "pdfd_journal_appends_total",
+	} {
+		if types[name] != "counter" {
+			t.Errorf("%s: TYPE %q, want counter", name, types[name])
+		}
+		if len(samples[name]) != 1 {
+			t.Errorf("%s: %d samples, want 1", name, len(samples[name]))
+		}
+	}
+	if v := samples["pdfd_jobs_done_total"][0].value; v < 1 {
+		t.Errorf("pdfd_jobs_done_total = %v, want >= 1", v)
+	}
+	for _, name := range []string{"pdfd_jobs_running", "pdfd_queue_depth", "pdfd_overloaded"} {
+		if types[name] != "gauge" {
+			t.Errorf("%s: TYPE %q, want gauge", name, types[name])
+		}
+	}
+
+	// Histogram coherence: cumulative buckets ending at +Inf == count,
+	// for every histogram family in the exposition.
+	var histograms int
+	for name, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		histograms++
+		buckets := samples[name+"_bucket"]
+		counts := samples[name+"_count"]
+		sums := samples[name+"_sum"]
+		if len(buckets) == 0 || len(counts) == 0 || len(sums) != len(counts) {
+			t.Errorf("%s: incomplete histogram series (%d buckets, %d counts, %d sums)",
+				name, len(buckets), len(counts), len(sums))
+			continue
+		}
+		// Group buckets by their non-le labels.
+		byGroup := make(map[string][]promSeries)
+		for _, s := range buckets {
+			var rest []string
+			le := ""
+			for _, l := range strings.Split(s.labels, ",") {
+				if strings.HasPrefix(l, `le="`) {
+					le = strings.TrimSuffix(strings.TrimPrefix(l, `le="`), `"`)
+				} else if l != "" {
+					rest = append(rest, l)
+				}
+			}
+			if le == "" {
+				t.Errorf("%s: bucket sample without le label: %q", name, s.labels)
+				continue
+			}
+			key := strings.Join(rest, ",")
+			byGroup[key] = append(byGroup[key], promSeries{labels: le, value: s.value})
+		}
+		for key, bs := range byGroup {
+			prev := -1.0
+			sawInf := false
+			for _, b := range bs {
+				if b.value < prev {
+					t.Errorf("%s{%s}: non-cumulative buckets", name, key)
+				}
+				prev = b.value
+				if b.labels == "+Inf" {
+					sawInf = true
+					// +Inf bucket must equal the matching _count.
+					for _, c := range counts {
+						if c.labels == key && c.value != b.value {
+							t.Errorf("%s{%s}: +Inf bucket %v != count %v", name, key, b.value, c.value)
+						}
+					}
+				}
+			}
+			if !sawInf {
+				t.Errorf("%s{%s}: no +Inf bucket", name, key)
+			}
+		}
+	}
+	if histograms < 1 {
+		t.Errorf("exposition has %d histograms, want >= 1", histograms)
+	}
+	if len(samples["pdfd_stage_duration_seconds_bucket"]) == 0 {
+		t.Errorf("no pdfd_stage_duration_seconds buckets after a finished job")
+	}
+
+	// The deprecated alias serves the identical format.
+	dresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbody := readBody(t, dresp)
+	parsePromText(t, string(dbody))
+	if dresp.Header.Get("Deprecation") != "true" {
+		t.Errorf("/metrics alias not marked deprecated")
+	}
+}
+
+// A compacted c17 enrichment job yields a span timeline covering the
+// whole pipeline — pathenum, generation, compaction, simulation — with
+// every span correctly nested under an earlier parent.
+func TestServerJobTraceSpans(t *testing.T) {
+	_, srv := newTestServer(t)
+	v := submitWait(t, srv.URL, map[string]any{
+		"kind": "enrich", "circuit": "c17", "np0": 4, "seed": 1, "collapse": true,
+	})
+	if v.Status != StatusDone {
+		t.Fatalf("job %s: %s", v.Status, v.Error)
+	}
+
+	var tr struct {
+		JobID string        `json:"job_id"`
+		Trace obs.TraceView `json:"trace"`
+	}
+	getJSON(t, srv.URL+"/v1/jobs/"+v.ID+"/trace", &tr)
+	if tr.JobID != v.ID {
+		t.Fatalf("trace for %q, want %q", tr.JobID, v.ID)
+	}
+	spans := tr.Trace.Spans
+	if len(spans) == 0 {
+		t.Fatal("empty span timeline")
+	}
+
+	// Nesting: the first span is the root "job"; every other span's
+	// parent is an earlier span's id (parents precede children).
+	if spans[0].Name != "job" || spans[0].Parent != 0 {
+		t.Fatalf("first span = %q (parent %d), want root \"job\"", spans[0].Name, spans[0].Parent)
+	}
+	ids := map[int]bool{spans[0].ID: true}
+	byName := map[string][]obs.SpanView{}
+	for i, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+		if i == 0 {
+			continue
+		}
+		if !ids[s.Parent] {
+			t.Errorf("span %d %q: parent %d not an earlier span", s.ID, s.Name, s.Parent)
+		}
+		ids[s.ID] = true
+		if s.StartMS < spans[0].StartMS {
+			t.Errorf("span %q starts before the root", s.Name)
+		}
+		if s.DurMS < 0 && s.DurMS != -1 {
+			t.Errorf("span %q has duration %v", s.Name, s.DurMS)
+		}
+	}
+
+	// The acceptance stage names, all present.
+	for _, name := range []string{
+		"queued", "attempt", "prepare", "pathenum", "screen", "partition",
+		"collapse", "generation", "compaction", "simulation",
+	} {
+		if len(byName[name]) == 0 {
+			t.Errorf("no %q span in timeline %v", name, names(spans))
+		}
+	}
+
+	// Structural spot checks: prepare is a child of attempt, pathenum
+	// a child of prepare, compaction children of generation.
+	attempt := byName["attempt"][0]
+	if p := byName["prepare"][0]; p.Parent != attempt.ID {
+		t.Errorf("prepare parent %d, want attempt %d", p.Parent, attempt.ID)
+	}
+	if pe := byName["pathenum"][0]; pe.Parent != byName["prepare"][0].ID {
+		t.Errorf("pathenum parent %d, want prepare %d", pe.Parent, byName["prepare"][0].ID)
+	}
+	genIDs := map[int]bool{}
+	for _, g := range byName["generation"] {
+		genIDs[g.ID] = true
+	}
+	for _, cpt := range byName["compaction"] {
+		if !genIDs[cpt.Parent] {
+			t.Errorf("compaction span parent %d is not a generation span", cpt.Parent)
+		}
+		if cpt.Attrs["heuristic"] == "" {
+			t.Errorf("compaction span missing heuristic attr: %v", cpt.Attrs)
+		}
+	}
+
+	// Every recorded span ended (the job is terminal).
+	for _, s := range spans {
+		if s.DurMS == -1 || math.IsNaN(s.DurMS) {
+			t.Errorf("span %q never ended", s.Name)
+		}
+	}
+
+	// The full job view embeds the same timeline.
+	var full JobView
+	getJSON(t, srv.URL+"/v1/jobs/"+v.ID, &full)
+	if full.Trace == nil || len(full.Trace.Spans) != len(spans) {
+		t.Errorf("JobView trace has %d spans, want %d", lenTrace(full.Trace), len(spans))
+	}
+}
+
+func names(spans []obs.SpanView) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func lenTrace(t *obs.TraceView) int {
+	if t == nil {
+		return 0
+	}
+	return len(t.Spans)
+}
+
 // Every response — success or error — is JSON with the right content
-// type, so clients never need to sniff.
+// type (except the Prometheus exposition), so clients never sniff.
 func TestServerJSONContentType(t *testing.T) {
 	_, srv := newTestServer(t)
 	checks := []struct {
@@ -226,21 +725,21 @@ func TestServerJSONContentType(t *testing.T) {
 		want int
 	}{
 		{"submit accepted", func() *http.Response {
-			resp, _ := postJSON(t, srv.URL+"/jobs", map[string]any{"kind": "generate", "circuit": "s27", "np0": 10})
+			resp, _ := postJSON(t, srv.URL+"/v1/jobs", map[string]any{"kind": "generate", "circuit": "s27", "np0": 10})
 			return resp
 		}, http.StatusAccepted},
 		{"bad spec", func() *http.Response {
-			resp, _ := postJSON(t, srv.URL+"/jobs", map[string]any{"kind": "explode"})
+			resp, _ := postJSON(t, srv.URL+"/v1/jobs", map[string]any{"kind": "explode"})
 			return resp
 		}, http.StatusBadRequest},
 		{"unknown job", func() *http.Response {
-			return getJSON(t, srv.URL+"/jobs/j999", nil)
+			return getJSON(t, srv.URL+"/v1/jobs/j999", nil)
 		}, http.StatusNotFound},
 		{"healthz", func() *http.Response {
-			return getJSON(t, srv.URL+"/healthz", nil)
+			return getJSON(t, srv.URL+"/v1/healthz", nil)
 		}, http.StatusOK},
-		{"metrics", func() *http.Response {
-			return getJSON(t, srv.URL+"/metrics", nil)
+		{"metrics.json", func() *http.Response {
+			return getJSON(t, srv.URL+"/v1/metrics.json", nil)
 		}, http.StatusOK},
 	}
 	for _, c := range checks {
@@ -252,25 +751,36 @@ func TestServerJSONContentType(t *testing.T) {
 			t.Errorf("%s: content type %q, want application/json", c.name, ct)
 		}
 	}
-
-	// Error bodies carry the machine-readable {"error": ...} shape.
-	_, body := postJSON(t, srv.URL+"/jobs", map[string]any{"kind": "explode", "circuit": "s27"})
-	var e struct {
-		Error string `json:"error"`
-	}
-	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-		t.Errorf("error body not {\"error\": ...}: %s (%v)", body, err)
-	}
 }
 
-// /metrics exposes the resilience counters.
+// /v1/metrics.json exposes the resilience counters.
 func TestServerMetricsResilienceFields(t *testing.T) {
 	_, srv := newTestServer(t)
 	var m map[string]any
-	getJSON(t, srv.URL+"/metrics", &m)
+	getJSON(t, srv.URL+"/v1/metrics.json", &m)
 	for _, key := range []string{"jobs_retried", "jobs_shed", "job_panics", "queue_depth", "overloaded", "journal_appends", "journal_errors", "journal_compactions"} {
 		if _, ok := m[key]; !ok {
-			t.Errorf("/metrics missing %q", key)
+			t.Errorf("/v1/metrics.json missing %q", key)
 		}
+	}
+}
+
+// Responses echo the caller's X-Request-ID (or mint one), correlating
+// access logs with client-side records.
+func TestServerRequestIDEcho(t *testing.T) {
+	_, srv := newTestServer(t)
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/healthz", nil)
+	req.Header.Set("X-Request-ID", "req-abc123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if got := resp.Header.Get("X-Request-ID"); got != "req-abc123" {
+		t.Errorf("echoed request id %q, want req-abc123", got)
+	}
+	resp2 := getJSON(t, srv.URL+"/v1/healthz", nil)
+	if resp2.Header.Get("X-Request-ID") == "" {
+		t.Errorf("no request id minted for anonymous request")
 	}
 }

@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/faultsim"
+	"repro/internal/obs"
 	"repro/internal/pathenum"
 	"repro/internal/robust"
 	"repro/internal/synth"
@@ -91,14 +93,31 @@ func Prepare(name string, p Params) (*CircuitData, error) {
 
 // PrepareCircuit is Prepare for an already-built circuit.
 func PrepareCircuit(c *circuit.Circuit, p Params) (*CircuitData, error) {
+	return PrepareCircuitCtx(context.Background(), c, p)
+}
+
+// PrepareCircuitCtx is PrepareCircuit with an observability context:
+// when ctx carries an obs.Trace (the engine's per-job timeline), the
+// three preparation stages — path enumeration, robustness screening,
+// and the P0/P1 partition — are recorded as child spans. With a plain
+// context the spans are free no-ops.
+func PrepareCircuitCtx(ctx context.Context, c *circuit.Circuit, p Params) (*CircuitData, error) {
+	_, espan := obs.StartSpan(ctx, "pathenum", obs.Int("budget", p.NP))
 	res, err := pathenum.Enumerate(c, pathenum.Config{
 		MaxFaults: p.NP,
 		Mode:      pathenum.DistancePruned,
 	})
 	if err != nil {
+		espan.End()
 		return nil, fmt.Errorf("experiments: %s: %v", c.Name, err)
 	}
+	espan.End(obs.Int("enumerated", len(res.Faults)))
+
+	_, sspan := obs.StartSpan(ctx, "screen", obs.Int("faults", len(res.Faults)))
 	kept, eliminated := robust.Screen(c, res.Faults)
+	sspan.End(obs.Int("kept", len(kept)), obs.Int("eliminated", eliminated))
+
+	_, pspan := obs.StartSpan(ctx, "partition", obs.Int("np0", p.NP0))
 	raw := make([]faults.Fault, len(kept))
 	for i := range kept {
 		raw[i] = kept[i].Fault
@@ -115,6 +134,7 @@ func PrepareCircuit(c *circuit.Circuit, p Params) (*CircuitData, error) {
 		Eliminated: eliminated,
 		Enumerated: len(res.Faults),
 	}
+	pspan.End(obs.Int("p0", len(d.P0)), obs.Int("p1", len(d.P1)))
 	return d, nil
 }
 

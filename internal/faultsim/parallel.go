@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/circuit"
+	"repro/internal/obs"
 	"repro/internal/robust"
 	"repro/internal/tval"
 )
@@ -46,6 +47,8 @@ func RunParallel(ctx context.Context, c *circuit.Circuit, tests []circuit.TwoPat
 	sims := make([][]tval.Triple, len(tests))
 	var nextTest atomic.Int64
 	var wg sync.WaitGroup
+	_, simSpan := obs.StartSpan(ctx, "testsim",
+		obs.Int("tests", len(tests)), obs.Int("workers", simWorkers))
 	for w := 0; w < simWorkers; w++ {
 		wg.Add(1)
 		go func() {
@@ -60,19 +63,24 @@ func RunParallel(ctx context.Context, c *circuit.Circuit, tests []circuit.TwoPat
 		}()
 	}
 	wg.Wait()
+	simSpan.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// Stage 2: scan fault chunks; each fault stops at its first
-	// detecting test.
+	// detecting test. One "shard" span per worker goroutine records
+	// the shard's share of the scan on the job timeline.
 	scanWorkers := min(workers, (len(fcs)+faultChunk-1)/faultChunk)
 	firstDet := make([]int, len(fcs))
 	var nextFault atomic.Int64
 	for w := 0; w < scanWorkers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			scanned := 0
+			_, span := obs.StartSpan(ctx, "shard", obs.Int("shard", w))
+			defer func() { span.End(obs.Int("faults", scanned)) }()
 			for ctx.Err() == nil {
 				start := int(nextFault.Add(faultChunk)) - faultChunk
 				if start >= len(fcs) {
@@ -88,8 +96,9 @@ func RunParallel(ctx context.Context, c *circuit.Circuit, tests []circuit.TwoPat
 						}
 					}
 				}
+				scanned += end - start
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {

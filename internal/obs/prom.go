@@ -1,0 +1,363 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency histogram buckets, in seconds,
+// spanning sub-millisecond stages to multi-minute jobs. They are fixed
+// (not adaptive) so dashboards can compare runs.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// Collector is anything that can expose itself in the Prometheus text
+// format. The concrete types below implement it; a Registry serializes
+// its collectors in registration order.
+type Collector interface {
+	expose(w io.Writer) error
+}
+
+// Registry holds a set of metric families and serializes them in the
+// Prometheus text exposition format (version 0.0.4).
+type Registry struct {
+	mu    sync.Mutex
+	names map[string]bool
+	fams  []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// MustRegister adds collectors to the registry, panicking on a
+// duplicate family name (two families with one name would produce an
+// invalid exposition).
+func (r *Registry) MustRegister(cs ...Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range cs {
+		if n, ok := c.(interface{ familyName() string }); ok {
+			if r.names[n.familyName()] {
+				panic("obs: duplicate metric family " + n.familyName())
+			}
+			r.names[n.familyName()] = true
+		}
+		r.fams = append(r.fams, c)
+	}
+}
+
+// WritePrometheus serializes every registered family to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]Collector(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.expose(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the text format rules.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// labelPairs renders {k1="v1",k2="v2"} (empty string for no labels).
+func labelPairs(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func header(w io.Writer, name, help, typ string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	return err
+}
+
+// ---- Counter ----
+
+// Counter is a monotonically increasing integer counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n (must be >= 0 for Prometheus semantics; not enforced).
+func (c *Counter) Add(n int64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// CounterVec is a family of counters keyed by label values.
+type CounterVec struct {
+	name, help string
+	labels     []string
+	mu         sync.Mutex
+	children   map[string]*vecChild[*Counter]
+}
+
+type vecChild[T any] struct {
+	values []string
+	metric T
+}
+
+// NewCounterVec builds a labeled counter family.
+func NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{name: name, help: help, labels: labels,
+		children: make(map[string]*vecChild[*Counter])}
+}
+
+func vecKey(values []string) string { return strings.Join(values, "\x00") }
+
+// With returns (creating on first use) the counter for the given label
+// values, which must match the label names positionally.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic("obs: label cardinality mismatch on " + v.name)
+	}
+	k := vecKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.children[k]
+	if c == nil {
+		c = &vecChild[*Counter]{values: append([]string(nil), values...), metric: &Counter{}}
+		v.children[k] = c
+	}
+	return c.metric
+}
+
+func (v *CounterVec) familyName() string { return v.name }
+
+func (v *CounterVec) expose(w io.Writer) error {
+	if err := header(w, v.name, v.help, "counter"); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]string, 0, len(keys))
+	for _, k := range keys {
+		c := v.children[k]
+		rows = append(rows, fmt.Sprintf("%s%s %d\n", v.name, labelPairs(v.labels, c.values), c.metric.Value()))
+	}
+	v.mu.Unlock()
+	for _, row := range rows {
+		if _, err := io.WriteString(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- Counter / gauge funcs ----
+
+type funcMetric struct {
+	name, help, typ string
+	fn              func() float64
+}
+
+func (f *funcMetric) familyName() string { return f.name }
+
+func (f *funcMetric) expose(w io.Writer) error {
+	if err := header(w, f.name, f.help, f.typ); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn()))
+	return err
+}
+
+// NewCounterFunc exposes a counter whose value is read from fn at
+// scrape time — the bridge for pre-existing atomic counters.
+func NewCounterFunc(name, help string, fn func() float64) Collector {
+	return &funcMetric{name: name, help: help, typ: "counter", fn: fn}
+}
+
+// NewGaugeFunc exposes a gauge whose value is read from fn at scrape
+// time (queue depth, cache occupancy, overload state).
+func NewGaugeFunc(name, help string, fn func() float64) Collector {
+	return &funcMetric{name: name, help: help, typ: "gauge", fn: fn}
+}
+
+// ---- Histogram ----
+
+// Histogram is a fixed-bucket latency histogram (observations in
+// seconds by convention).
+type Histogram struct {
+	name, help string
+	buckets    []float64 // upper bounds, ascending, +Inf implicit
+
+	mu     sync.Mutex
+	counts []uint64 // len(buckets)+1; last is +Inf
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram builds a histogram with the given upper bounds (nil
+// uses DefBuckets). Bounds must be sorted ascending.
+func NewHistogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &Histogram{
+		name: name, help: help,
+		buckets: append([]float64(nil), buckets...),
+		counts:  make([]uint64, len(buckets)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+func (h *Histogram) familyName() string { return h.name }
+
+func (h *Histogram) expose(w io.Writer) error {
+	if err := header(w, h.name, h.help, "histogram"); err != nil {
+		return err
+	}
+	return h.exposeRows(w, nil, nil)
+}
+
+// exposeRows writes the bucket/sum/count rows with optional extra
+// labels (used by HistogramVec).
+func (h *Histogram) exposeRows(w io.Writer, labelNames, labelValues []string) error {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	cum := uint64(0)
+	names := append(append([]string(nil), labelNames...), "le")
+	for i, ub := range h.buckets {
+		cum += counts[i]
+		values := append(append([]string(nil), labelValues...), formatFloat(ub))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, labelPairs(names, values), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(h.buckets)]
+	values := append(append([]string(nil), labelValues...), "+Inf")
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, labelPairs(names, values), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", h.name, labelPairs(labelNames, labelValues), formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", h.name, labelPairs(labelNames, labelValues), count)
+	return err
+}
+
+// HistogramVec is a family of histograms keyed by label values.
+type HistogramVec struct {
+	name, help string
+	buckets    []float64
+	labels     []string
+	mu         sync.Mutex
+	children   map[string]*vecChild[*Histogram]
+}
+
+// NewHistogramVec builds a labeled histogram family (nil buckets uses
+// DefBuckets).
+func NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{name: name, help: help, buckets: buckets, labels: labels,
+		children: make(map[string]*vecChild[*Histogram])}
+}
+
+// With returns (creating on first use) the histogram for the given
+// label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic("obs: label cardinality mismatch on " + v.name)
+	}
+	k := vecKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.children[k]
+	if c == nil {
+		c = &vecChild[*Histogram]{
+			values: append([]string(nil), values...),
+			metric: NewHistogram(v.name, v.help, v.buckets),
+		}
+		v.children[k] = c
+	}
+	return c.metric
+}
+
+func (v *HistogramVec) familyName() string { return v.name }
+
+func (v *HistogramVec) expose(w io.Writer) error {
+	if err := header(w, v.name, v.help, "histogram"); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]*vecChild[*Histogram], 0, len(keys))
+	for _, k := range keys {
+		children = append(children, v.children[k])
+	}
+	v.mu.Unlock()
+	for _, c := range children {
+		if err := c.metric.exposeRows(w, v.labels, c.values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
