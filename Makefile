@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test race check chaos obs-smoke bench engine-bench
+# The committed performance baseline `make bench-check` gates against;
+# refresh it with `make bench` and commit the new file (see PERF.md).
+BENCH_BASELINE ?= BENCH_2026-08-06.json
+
+.PHONY: build test race check chaos obs-smoke bench bench-check go-bench engine-bench
 
 build:
 	$(GO) build ./...
@@ -23,13 +27,27 @@ chaos:
 obs-smoke:
 	$(GO) test -race -count=1 -run 'TestObsSmoke' -v ./internal/cli/
 
-# The CI gate: vet + build + full suite under -race.
+# The CI gate: vet + build + full suite under -race + the performance
+# regression gate against the committed baseline.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) bench-check
 
+# Run the perfreg suite and write a fresh BENCH_<date>.json snapshot
+# (wall time, per-stage span seconds, allocations, test counts, P0/P1
+# coverage). Commit the file to refresh the baseline.
 bench:
+	$(GO) run ./cmd/pdfbench -reps 3
+
+# The regression gate: re-run the suite and diff against the committed
+# baseline; exits non-zero on any regression (see PERF.md thresholds).
+bench-check:
+	$(GO) run ./cmd/pdfbench -reps 3 -baseline $(BENCH_BASELINE)
+
+# The stock go-test microbenchmarks (pre-perfreg behavior of `bench`).
+go-bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The ENGINE_BENCH entry in EXPERIMENTS.md.

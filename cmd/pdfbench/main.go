@@ -1,0 +1,34 @@
+// Command pdfbench runs the fixed performance-benchmark suite (c17
+// plus synthetic stand-in circuits, across the generate and enrich
+// procedures) through the job engine and records wall time, per-stage
+// span durations, allocations, test-set size and P0/P1 coverage into
+// a schema-versioned snapshot.
+//
+// Usage:
+//
+//	pdfbench [-reps 3] [-out PATH]          write BENCH_<date>.json
+//	pdfbench -baseline BENCH_x.json         compare a fresh run against
+//	                                        a committed baseline; exits
+//	                                        non-zero on any regression
+//	pdfbench -list                          print the suite and exit
+//
+// Timing and allocation regressions are gated with noise-aware
+// thresholds (-wall-threshold, -alloc-threshold: fractional slowdown
+// on the min-of-reps, plus an absolute floor); test-set growth and
+// coverage drops are deterministic for a fixed seed and fail exactly.
+// See PERF.md for the snapshot schema and how to read a failure.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.PDFBench(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pdfbench:", err)
+		os.Exit(1)
+	}
+}

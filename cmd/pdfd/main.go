@@ -15,7 +15,9 @@
 // (-log-format text|json, -log-level), correlated by request_id and
 // job_id; a per-job span timeline covering every pipeline stage
 // (pathenum, generation, compaction, simulation) served at
-// /v1/jobs/{id}/trace; Prometheus metrics at /v1/metrics; and
+// /v1/jobs/{id}/trace; a live per-job event stream (SSE) at
+// /v1/jobs/{id}/events; Prometheus metrics at /v1/metrics, including
+// algorithm-level ATPG telemetry and Go runtime gauges; and
 // net/http/pprof on a separate -debug-addr listener.
 //
 // Usage:
@@ -23,18 +25,22 @@
 //	pdfd [-addr :8344] [-debug-addr ""] [-log-format text] [-log-level info]
 //	     [-workers 0] [-sim-workers 4] [-queue 64] [-cache 128]
 //	     [-timeout 10m] [-max-retries 0] [-shed-watermark 0]
-//	     [-trace-spans 0] [-journal DIR] [-drain 30s]
+//	     [-trace-spans 512] [-journal DIR] [-drain 30s]
+//
+// -trace-spans caps each job's span timeline; 0 disables span
+// collection entirely.
 //
 // Endpoints (the versioned /v1 surface; see API.md for the contract):
 //
-//	POST   /v1/jobs            submit {"kind":"enrich","circuit":"s27","np":2000,"np0":300,"seed":1}
-//	GET    /v1/jobs            list jobs; ?status= ?kind= ?limit= ?page_token=
-//	GET    /v1/jobs/{id}       poll a job; ?wait=5s blocks until it finishes
-//	DELETE /v1/jobs/{id}       cancel a job
-//	GET    /v1/jobs/{id}/trace the job's span timeline
-//	GET    /v1/healthz         liveness probe; 503 "overloaded" past the watermark
-//	GET    /v1/metrics         Prometheus text exposition
-//	GET    /v1/metrics.json    queue/cache/latency/resilience counters as JSON
+//	POST   /v1/jobs             submit {"kind":"enrich","circuit":"s27","np":2000,"np0":300,"seed":1}
+//	GET    /v1/jobs             list jobs; ?status= ?kind= ?limit= ?page_token=
+//	GET    /v1/jobs/{id}        poll a job; ?wait=5s blocks until it finishes
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/jobs/{id}/trace  the job's span timeline
+//	GET    /v1/jobs/{id}/events live lifecycle event stream (SSE; Last-Event-ID resumes)
+//	GET    /v1/healthz          liveness probe; 503 "overloaded" past the watermark
+//	GET    /v1/metrics          Prometheus text exposition
+//	GET    /v1/metrics.json     queue/cache/latency/resilience counters as JSON
 //
 // The pre-/v1 routes (/jobs, /jobs/{id}, /healthz, /metrics) still
 // answer with a Deprecation header pointing at their successors.

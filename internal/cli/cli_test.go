@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/perfreg"
 )
 
 // run invokes a CLI function capturing stdout and stderr.
@@ -520,5 +521,83 @@ func TestCLIFileErrors(t *testing.T) {
 		return PathProfile(a, o, e)
 	}, "-bench", "/nonexistent.bench"); err == nil {
 		t.Error("missing bench file must fail")
+	}
+}
+
+// pdfbench end to end: write a snapshot, pass against itself, fail
+// against a doctored baseline claiming better numbers.
+func TestPDFBenchWriteAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_base.json")
+
+	stdout, _, err := run(t, func(a []string, o, e *bytes.Buffer) error {
+		return PDFBench(a, o, e)
+	}, "-reps", "1", "-q", "-out", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "wrote "+base) {
+		t.Fatalf("no write banner:\n%s", stdout)
+	}
+	snap, err := perfreg.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SchemaVersion != perfreg.SchemaVersion || len(snap.Cases) == 0 {
+		t.Fatalf("bad snapshot: %+v", snap)
+	}
+	for _, c := range snap.Cases {
+		if c.WallSecondsMin <= 0 || len(c.StageSeconds) == 0 || c.Tests == 0 {
+			t.Fatalf("case %s not measured: %+v", c.Name, c)
+		}
+	}
+
+	// The same machine re-running the same suite must pass its own
+	// baseline (anything else means the gates are too tight to use).
+	stdout, _, err = run(t, func(a []string, o, e *bytes.Buffer) error {
+		return PDFBench(a, o, e)
+	}, "-reps", "1", "-q", "-baseline", base)
+	if err != nil {
+		t.Fatalf("self-baseline failed: %v\n%s", err, stdout)
+	}
+	if !strings.Contains(stdout, "no regressions") {
+		t.Fatalf("no clean-pass banner:\n%s", stdout)
+	}
+
+	// Doctored baseline: it claims fewer tests, more coverage and much
+	// faster runs than reality — every gate must trip.
+	for i := range snap.Cases {
+		snap.Cases[i].WallSecondsMin /= 1000
+		snap.Cases[i].Tests--
+		snap.Cases[i].P0Detected++
+	}
+	doctored := filepath.Join(dir, "BENCH_doctored.json")
+	if err := snap.WriteFile(doctored); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, err := run(t, func(a []string, o, e *bytes.Buffer) error {
+		return PDFBench(a, o, e)
+	}, "-reps", "1", "-q", "-baseline", doctored)
+	if err == nil {
+		t.Fatal("doctored baseline must fail the check")
+	}
+	for _, want := range []string{"REGRESSION", "wall_seconds_min", "tests", "p0_detected"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("regression report missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+func TestPDFBenchList(t *testing.T) {
+	stdout, _, err := run(t, func(a []string, o, e *bytes.Buffer) error {
+		return PDFBench(a, o, e)
+	}, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"c17-generate", "s641-enrich", "s1196-enrich-bnb"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("suite listing missing %q:\n%s", want, stdout)
+		}
 	}
 }

@@ -1,0 +1,85 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/perfreg"
+)
+
+// PDFBench implements cmd/pdfbench: the performance-regression harness
+// over internal/perfreg. Two modes share one binary:
+//
+//	pdfbench                         run the suite, write BENCH_<date>.json
+//	pdfbench -baseline BENCH_x.json  run the suite, diff against the
+//	                                 baseline; exit non-zero on regression
+//
+// `make bench` runs the first; `make bench-check` (wired into
+// `make check`) runs the second against the committed baseline.
+func PDFBench(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("pdfbench", stderr)
+	var (
+		reps      = fs.Int("reps", 3, "repetitions per case (min-of-reps feeds the comparison)")
+		out       = fs.String("out", "", "snapshot output path; empty writes BENCH_<date>.json, or nothing in -baseline mode")
+		baseline  = fs.String("baseline", "", "baseline snapshot to compare against; any regression makes the run fail")
+		wallFrac  = fs.Float64("wall-threshold", 0, "fractional min-wall-time slowdown tolerated before failing (0 = default 0.35)")
+		allocFrac = fs.Float64("alloc-threshold", 0, "fractional min-allocation growth tolerated before failing (0 = default 0.30)")
+		quiet     = fs.Bool("q", false, "suppress per-rep progress lines")
+		list      = fs.Bool("list", false, "print the suite cases and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite := perfreg.DefaultSuite()
+	if *list {
+		for _, c := range suite {
+			fmt.Fprintf(stdout, "%-22s %-9s %-8s np=%d np0=%d seed=%d heuristic=%s collapse=%v bnb=%v\n",
+				c.Name, c.Kind, c.Circuit, c.NP, c.NP0, c.Seed, c.Heuristic, c.Collapse, c.UseBnB)
+		}
+		return nil
+	}
+
+	var progress io.Writer
+	if !*quiet {
+		progress = stdout
+	}
+	snap, err := perfreg.Run(context.Background(), suite, perfreg.Options{Reps: *reps, Log: progress})
+	if err != nil {
+		return err
+	}
+
+	path := *out
+	if path == "" && *baseline == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	if path != "" {
+		if err := snap.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d cases, %d reps)\n", path, len(snap.Cases), snap.Reps)
+	}
+	if *baseline == "" {
+		return nil
+	}
+
+	base, err := perfreg.ReadFile(*baseline)
+	if err != nil {
+		return err
+	}
+	regs, notes := perfreg.Compare(base, snap, perfreg.Thresholds{
+		WallFrac: *wallFrac, AllocFrac: *allocFrac,
+	})
+	for _, n := range notes {
+		fmt.Fprintln(stdout, "note:", n)
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(stderr, "REGRESSION", r.String())
+		}
+		return fmt.Errorf("%d regression(s) against %s", len(regs), *baseline)
+	}
+	fmt.Fprintf(stdout, "no regressions against %s\n", *baseline)
+	return nil
+}

@@ -43,7 +43,7 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 		timeout    = fs.Duration("timeout", 10*time.Minute, "default per-job deadline (0 = none)")
 		maxRetries = fs.Int("max-retries", 0, "default retry budget for jobs that panic or fail transiently")
 		shed       = fs.Int("shed-watermark", 0, "queue depth at which submissions are shed with 503 before the queue is full (0 = disabled)")
-		spanLimit  = fs.Int("trace-spans", 0, "per-job span timeline cap (0 = default 512); excess spans are counted, not kept")
+		spanLimit  = fs.Int("trace-spans", obs.DefaultSpanLimit, "per-job span timeline cap (0 disables span collection entirely); excess spans are counted, not kept")
 		journalDir = fs.String("journal", "", "directory of the durable job journal; queued and running jobs survive a crash and replay on restart (empty = no journal)")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful shutdown: how long running jobs may finish after a signal")
 	)
@@ -51,6 +51,11 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	log := obs.NewLogger(stdout, *logFormat, *logLevel)
+	// The flag speaks operator language (0 = off); the engine uses a
+	// negative limit for "no trace" and 0 for its own default.
+	if *spanLimit == 0 {
+		*spanLimit = -1
+	}
 	cfg := engine.Config{
 		Workers:        *workers,
 		SimWorkers:     *simWorkers,

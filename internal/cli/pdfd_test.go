@@ -3,6 +3,7 @@ package cli
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"regexp"
 	"strings"
@@ -326,4 +327,76 @@ func TestPDFSimWorkersIdenticalOutput(t *testing.T) {
 	if !strings.Contains(outs[0], "detected") {
 		t.Errorf("missing detection summary:\n%s", outs[0])
 	}
+}
+
+// -trace-spans=0 disables span collection entirely: the finished job
+// carries no timeline (and paid no span bookkeeping), while the event
+// stream still works.
+func TestPDFDTraceDisabled(t *testing.T) {
+	var out syncBuffer
+	base, exit := startPDFD(t, &out, "-trace-spans", "0")
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"generate","circuit":"s27","np":8,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(base + "/v1/jobs/" + v.ID + "?wait=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if string(view["status"]) != `"done"` {
+		t.Fatalf("job status = %s, want done", view["status"])
+	}
+	if _, ok := view["trace"]; ok {
+		t.Errorf("disabled tracing still produced a trace: %s", view["trace"])
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/" + v.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		Trace struct {
+			Spans []json.RawMessage `json:"spans"`
+		} `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(tr.Trace.Spans) != 0 {
+		t.Errorf("disabled tracing recorded %d spans", len(tr.Trace.Spans))
+	}
+
+	// The SSE stream is independent of tracing.
+	resp, err = http.Get(base + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"event: queued", "event: attempt", "event: stage", "event: done"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("event stream missing %q:\n%s", want, body)
+		}
+	}
+
+	stopPDFD(t, exit)
 }

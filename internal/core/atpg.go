@@ -110,10 +110,30 @@ type Result struct {
 	// SecondaryAccepts / SecondaryRejects count secondary target
 	// outcomes (CheapAccepts included in accepts).
 	SecondaryAccepts, SecondaryRejects, CheapAccepts int
+	// SecondaryAcceptsBySet / SecondaryRejectsBySet split the
+	// secondary outcomes by the target set (phase) the candidate came
+	// from: index s counts candidates of sets[s] in EnrichK terms
+	// (Generate runs a single set, so only index 0 is populated).
+	SecondaryAcceptsBySet, SecondaryRejectsBySet []int
+	// RegenPerTest[t] counts the test regenerations of test t: each
+	// accepted secondary whose conditions were not already covered
+	// re-justifies the whole cube (cheap accepts regenerate nothing).
+	// The paper's compaction cost argument is about exactly this loop.
+	RegenPerTest []int
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 	// JustifyStats are the accumulated justifier counters.
 	JustifyStats justify.Stats
+}
+
+// ensureSets sizes the per-set tallies for k target sets.
+func (r *Result) ensureSets(k int) {
+	for len(r.SecondaryAcceptsBySet) < k {
+		r.SecondaryAcceptsBySet = append(r.SecondaryAcceptsBySet, 0)
+	}
+	for len(r.SecondaryRejectsBySet) < k {
+		r.SecondaryRejectsBySet = append(r.SecondaryRejectsBySet, 0)
+	}
 }
 
 // backend abstracts the two justification procedures.
@@ -137,7 +157,7 @@ func (b bnbBackend) justifyCube(cube *robust.Cube) (circuit.TwoPattern, bool) {
 }
 func (b bnbBackend) stats() justify.Stats {
 	st := b.b.Stats()
-	return justify.Stats{Calls: st.Calls, Successes: st.Successes}
+	return justify.Stats{Calls: st.Calls, Successes: st.Successes, Backtracks: st.Backtracks}
 }
 
 // generator holds the shared state of one run.
@@ -215,6 +235,8 @@ func GenerateCtx(ctx context.Context, c *circuit.Circuit, fcs []robust.FaultCond
 		}
 		if cfg.Heuristic != Uncompacted {
 			test = g.compactTest(ctx, pi, test, cube, res, setOf, 1)
+		} else {
+			res.RegenPerTest = append(res.RegenPerTest, 0)
 		}
 		res.Tests = append(res.Tests, test)
 		g.simDrop(ctx, test)
@@ -229,10 +251,13 @@ func GenerateCtx(ctx context.Context, c *circuit.Circuit, fcs []robust.FaultCond
 // job timeline — one span per generated test, attributed with the
 // secondary accept/reject deltas.
 func (g *generator) compactTest(ctx context.Context, primary int, test circuit.TwoPattern, cube robust.Cube, res *Result, setOf []int, k int) circuit.TwoPattern {
-	accepts, rejects := res.SecondaryAccepts, res.SecondaryRejects
+	accepts, rejects, cheap := res.SecondaryAccepts, res.SecondaryRejects, res.CheapAccepts
 	_, span := obs.StartSpan(ctx, "compaction",
 		obs.String("heuristic", g.cfg.Heuristic.String()), obs.Int("test", len(res.Tests)))
 	test = g.addSecondariesPhased(primary, test, cube, res, setOf, k)
+	// Every non-cheap accept regenerated the test under the grown cube.
+	res.RegenPerTest = append(res.RegenPerTest,
+		(res.SecondaryAccepts-accepts)-(res.CheapAccepts-cheap))
 	span.End(obs.Int("accepts", res.SecondaryAccepts-accepts),
 		obs.Int("rejects", res.SecondaryRejects-rejects))
 	return test
@@ -257,8 +282,15 @@ type EnrichResult struct {
 	DetectedP1Count                                  int
 	PrimaryAborts                                    int
 	SecondaryAccepts, SecondaryRejects, CheapAccepts int
-	Elapsed                                          time.Duration
-	JustifyStats                                     justify.Stats
+	// SecondaryAcceptsBySet / SecondaryRejectsBySet split the
+	// secondary outcomes between P0 (index 0) and P1 (index 1) —
+	// the counters the paper's Table 6 discussion argues about.
+	SecondaryAcceptsBySet, SecondaryRejectsBySet []int
+	// RegenPerTest[t] counts the justification regenerations of test
+	// t (see Result.RegenPerTest).
+	RegenPerTest []int
+	Elapsed      time.Duration
+	JustifyStats justify.Stats
 }
 
 // Enrich runs the test enrichment procedure of Section 3.2: primaries
@@ -276,17 +308,20 @@ func Enrich(c *circuit.Circuit, p0, p1 []robust.FaultConditions, cfg Config) *En
 func EnrichCtx(ctx context.Context, c *circuit.Circuit, p0, p1 []robust.FaultConditions, cfg Config) (*EnrichResult, error) {
 	kres, err := EnrichKCtx(ctx, c, [][]robust.FaultConditions{p0, p1}, cfg)
 	return &EnrichResult{
-		Tests:            kres.Tests,
-		DetectedP0:       kres.Detected[0],
-		DetectedP1:       kres.Detected[1],
-		DetectedP0Count:  kres.DetectedCounts[0],
-		DetectedP1Count:  kres.DetectedCounts[1],
-		PrimaryAborts:    kres.PrimaryAborts,
-		SecondaryAccepts: kres.SecondaryAccepts,
-		SecondaryRejects: kres.SecondaryRejects,
-		CheapAccepts:     kres.CheapAccepts,
-		Elapsed:          kres.Elapsed,
-		JustifyStats:     kres.JustifyStats,
+		Tests:                 kres.Tests,
+		DetectedP0:            kres.Detected[0],
+		DetectedP1:            kres.Detected[1],
+		DetectedP0Count:       kres.DetectedCounts[0],
+		DetectedP1Count:       kres.DetectedCounts[1],
+		PrimaryAborts:         kres.PrimaryAborts,
+		SecondaryAccepts:      kres.SecondaryAccepts,
+		SecondaryRejects:      kres.SecondaryRejects,
+		CheapAccepts:          kres.CheapAccepts,
+		SecondaryAcceptsBySet: kres.SecondaryAcceptsBySet,
+		SecondaryRejectsBySet: kres.SecondaryRejectsBySet,
+		RegenPerTest:          kres.RegenPerTest,
+		Elapsed:               kres.Elapsed,
+		JustifyStats:          kres.JustifyStats,
 	}, err
 }
 

@@ -19,8 +19,15 @@ type EnrichKResult struct {
 	DetectedCounts                                   []int
 	PrimaryAborts                                    int
 	SecondaryAccepts, SecondaryRejects, CheapAccepts int
-	Elapsed                                          time.Duration
-	JustifyStats                                     justify.Stats
+	// SecondaryAcceptsBySet / SecondaryRejectsBySet split the
+	// secondary outcomes by the target set the candidate came from
+	// (index s corresponds to sets[s]).
+	SecondaryAcceptsBySet, SecondaryRejectsBySet []int
+	// RegenPerTest[t] counts the justification regenerations of test
+	// t (non-cheap secondary accepts; see core.Result.RegenPerTest).
+	RegenPerTest []int
+	Elapsed      time.Duration
+	JustifyStats justify.Stats
 }
 
 // EnrichK generalizes the enrichment procedure to any number of target
@@ -72,16 +79,20 @@ func EnrichKCtx(ctx context.Context, c *circuit.Circuit, sets [][]robust.FaultCo
 		res.Tests = append(res.Tests, test)
 		g.simDrop(ctx, test)
 	}
+	res.ensureSets(len(sets))
 	out := &EnrichKResult{
-		Tests:            res.Tests,
-		Detected:         make([][]bool, len(sets)),
-		DetectedCounts:   make([]int, len(sets)),
-		PrimaryAborts:    res.PrimaryAborts,
-		SecondaryAccepts: res.SecondaryAccepts,
-		SecondaryRejects: res.SecondaryRejects,
-		CheapAccepts:     res.CheapAccepts,
-		Elapsed:          time.Since(start),
-		JustifyStats:     g.just.stats(),
+		Tests:                 res.Tests,
+		Detected:              make([][]bool, len(sets)),
+		DetectedCounts:        make([]int, len(sets)),
+		PrimaryAborts:         res.PrimaryAborts,
+		SecondaryAccepts:      res.SecondaryAccepts,
+		SecondaryRejects:      res.SecondaryRejects,
+		CheapAccepts:          res.CheapAccepts,
+		SecondaryAcceptsBySet: res.SecondaryAcceptsBySet,
+		SecondaryRejectsBySet: res.SecondaryRejectsBySet,
+		RegenPerTest:          res.RegenPerTest,
+		Elapsed:               time.Since(start),
+		JustifyStats:          g.just.stats(),
 	}
 	idx := 0
 	for s, set := range sets {
@@ -123,6 +134,7 @@ func (g *generator) primaryOrder() []int {
 // addSecondariesPhased runs the secondary loop over k phases.
 func (g *generator) addSecondariesPhased(primary int, test circuit.TwoPattern, cube robust.Cube, res *Result, setOf []int, k int) circuit.TwoPattern {
 	sim := test.Simulate(g.c)
+	res.ensureSets(k)
 	for phase := 0; phase < k; phase++ {
 		cand := g.candidatesSet(primary, setOf, phase)
 		for len(cand) > 0 {
@@ -162,11 +174,13 @@ func (g *generator) addSecondariesPhased(primary int, test circuit.TwoPattern, c
 					sim = test.Simulate(g.c)
 				}
 				res.SecondaryAccepts++
+				res.SecondaryAcceptsBySet[phase]++
 				if cheap {
 					res.CheapAccepts++
 				}
 			} else {
 				res.SecondaryRejects++
+				res.SecondaryRejectsBySet[phase]++
 			}
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/experiments"
 	"repro/internal/faultsim"
 	"repro/internal/journal"
@@ -99,8 +100,14 @@ type Config struct {
 	Logger *slog.Logger
 	// TraceSpanLimit bounds each job's span timeline; 0 uses
 	// obs.DefaultSpanLimit. Spans past the limit are dropped and
-	// counted in the trace snapshot.
+	// counted in the trace snapshot. A negative limit disables span
+	// collection entirely: jobs carry no trace and pay no span cost.
 	TraceSpanLimit int
+
+	// EventHistory bounds each job's event-stream history ring (the
+	// replay window of /v1/jobs/{id}/events); 0 uses
+	// events.DefaultHistory.
+	EventHistory int
 }
 
 // Engine runs jobs on a bounded worker pool. Create with New, release
@@ -113,6 +120,7 @@ type Engine struct {
 	log          *slog.Logger
 	registry     *obs.Registry
 	httpMetrics  *obs.HTTPMetrics
+	events       *events.Bus
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -162,6 +170,7 @@ func New(cfg Config) *Engine {
 		queue:        make(chan *Job, cfg.QueueDepth),
 		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
 		jobs:         make(map[string]*Job),
+		events:       events.NewBus(cfg.EventHistory),
 	}
 	e.registry = buildRegistry(e)
 	e.httpMetrics = obs.NewHTTPMetrics(e.registry, "pdfd")
@@ -178,6 +187,12 @@ func New(cfg Config) *Engine {
 // obs.Registry.WritePrometheus (pdfd does, on /metrics and
 // /v1/metrics).
 func (e *Engine) Registry() *obs.Registry { return e.registry }
+
+// Events returns the engine's job lifecycle event bus. Every job
+// publishes queued, attempt, stage, retrying and terminal
+// (done/failed/canceled) events on its own stream; the server's SSE
+// endpoint subscribes here.
+func (e *Engine) Events() *events.Bus { return e.events }
 
 // Submit validates and enqueues a job, returning it immediately.
 // Past the shed watermark it rejects with ErrOverloaded; on a full
@@ -237,6 +252,9 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 	// submissions. A worker may journal this job's OpStarted first;
 	// replay is order-insensitive.
 	e.journalAppend(journal.Record{Op: journal.OpSubmitted, JobID: j.id, Seq: j.seq, Spec: marshalSpec(spec)})
+	e.events.Publish(j.id, "queued", map[string]string{
+		"kind": string(spec.Kind), "circuit": spec.Circuit,
+	})
 	e.updateWatermark()
 	e.log.Debug("job submitted", "job_id", j.id, "kind", spec.Kind, "circuit", spec.Circuit)
 	return j, nil
@@ -266,8 +284,23 @@ func (e *Engine) afterTerminal(j *Job, st Status, err error) {
 	}
 	d := time.Since(j.created)
 	e.metrics.jobSeconds.With(string(j.spec.Kind), string(st)).Observe(d.Seconds())
+	if j.startTime().IsZero() {
+		// Shed before ever running (canceled while queued or retrying,
+		// e.g. at shutdown): its whole life was queue wait, which the
+		// "ran" series in runJob will never record.
+		e.metrics.queueSeconds.With("shed").Observe(d.Seconds())
+	}
 	j.endQueued() // a job canceled while queued never reached runJob
 	j.endRoot(st)
+	data := map[string]string{
+		"attempts":    fmt.Sprintf("%d", j.attempts()),
+		"duration_ms": fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond)),
+	}
+	if err != nil {
+		data["error"] = err.Error()
+	}
+	e.events.Publish(j.id, string(st), data)
+	e.events.CloseJob(j.id)
 	attrs := []any{
 		"job_id", j.id, "kind", j.spec.Kind, "circuit", j.spec.Circuit,
 		"status", st, "attempts", j.attempts(),
@@ -562,13 +595,14 @@ func (e *Engine) runJob(j *Job) {
 
 	if first {
 		j.endQueued()
-		e.metrics.queueSeconds.Observe(started.Sub(created).Seconds())
+		e.metrics.queueSeconds.With("ran").Observe(started.Sub(created).Seconds())
 	}
 	// The run context keeps the engine's cancellation but gains the
 	// job's trace correlation, so every span below lands on the job
 	// timeline under the root span.
 	ctx = obs.Transplant(ctx, j.traceCtx)
 	ctx, attSpan := obs.StartSpan(ctx, "attempt", obs.Int("attempt", attempt))
+	e.events.Publish(j.id, "attempt", map[string]string{"attempt": fmt.Sprintf("%d", attempt)})
 	e.log.Debug("job attempt started", "job_id", j.id, "attempt", attempt)
 
 	e.journalAppend(journal.Record{Op: journal.OpStarted, JobID: j.id, Seq: j.seq, Attempt: attempt})
@@ -633,6 +667,11 @@ func (e *Engine) retryOrFail(j *Job, attempt int, err error) {
 	e.metrics.jobsRetried.Add(1)
 	e.journalAppend(journal.Record{Op: journal.OpRetrying, JobID: j.id, Seq: j.seq, Error: err.Error(), Attempt: attempt})
 	delay := e.retryDelay(attempt)
+	e.events.Publish(j.id, "retrying", map[string]string{
+		"attempt":    fmt.Sprintf("%d", attempt),
+		"error":      err.Error(),
+		"backoff_ms": fmt.Sprintf("%.0f", float64(delay)/float64(time.Millisecond)),
+	})
 	e.log.Warn("job attempt failed, retrying", "job_id", j.id, "attempt", attempt,
 		"max_retries", j.maxRetries, "error", err.Error(), "backoff_ms", float64(delay)/float64(time.Millisecond))
 	j.setRetryTimer(time.AfterFunc(delay, func() { e.requeue(j) }))
@@ -790,6 +829,9 @@ func (e *Engine) Restore(recs []journal.Record) (int, error) {
 		e.jobs[j.id] = j
 		e.order = append(e.order, j.id)
 		e.mu.Unlock()
+		e.events.Publish(j.id, "queued", map[string]string{
+			"kind": string(spec.Kind), "circuit": spec.Circuit, "replayed": "true",
+		})
 		n++
 	}
 	return n, nil
@@ -811,6 +853,10 @@ func (e *Engine) simWorkers(spec Spec) int {
 func (e *Engine) stageDone(j *Job, name string, d time.Duration) {
 	e.metrics.observeStage(name, d)
 	e.journalAppend(journal.Record{Op: journal.OpStage, JobID: j.id, Seq: j.seq, Stage: name})
+	e.events.Publish(j.id, "stage", map[string]string{
+		"stage":       name,
+		"duration_ms": fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond)),
+	})
 }
 
 // execute runs one job through the prepare → cache → run → store
@@ -905,6 +951,7 @@ func (e *Engine) execute(ctx context.Context, j *Job) (*Result, bool, error) {
 		res.TestPatterns = gres.Tests
 		res.PrimaryAborts = gres.PrimaryAborts
 		res.P0Detected = gres.DetectedCount
+		e.metrics.observeATPG(gres.JustifyStats, gres.SecondaryAcceptsBySet, gres.SecondaryRejectsBySet, gres.RegenPerTest)
 		genSpan.End(obs.Int("tests", len(gres.Tests)), obs.Int("aborts", gres.PrimaryAborts))
 		all := d.All()
 		res.AllTotal = len(all)
@@ -935,6 +982,7 @@ func (e *Engine) execute(ctx context.Context, j *Job) (*Result, bool, error) {
 		res.P1Detected = er.DetectedP1Count
 		res.AllTotal = len(p0) + len(p1)
 		res.AllDetected = er.DetectedP0Count + er.DetectedP1Count
+		e.metrics.observeATPG(er.JustifyStats, er.SecondaryAcceptsBySet, er.SecondaryRejectsBySet, er.RegenPerTest)
 		genSpan.End(obs.Int("tests", len(er.Tests)), obs.Int("aborts", er.PrimaryAborts))
 		e.stageDone(j, "enrich", time.Since(t1))
 	case KindFaultSim:

@@ -212,8 +212,15 @@ type Job struct {
 
 // initTrace starts the job's span timeline: a root "job" span opened
 // at submit time with a "queued" child covering the wait for a worker.
-// Called once before the job is published to the engine maps.
+// Called once before the job is published to the engine maps. A
+// negative limit disables tracing for the job: no trace is allocated,
+// traceCtx carries none, and every span operation below degrades to
+// the obs package's nil no-ops.
 func (j *Job) initTrace(limit int, attrs ...obs.Attr) {
+	if limit < 0 {
+		j.traceCtx = context.Background()
+		return
+	}
 	j.trace = obs.NewTrace(limit)
 	ctx := obs.NewContext(context.Background(), j.trace)
 	ctx, j.rootSpan = obs.StartSpan(ctx, "job", attrs...)
@@ -392,6 +399,14 @@ func (j *Job) setRetryTimer(t *time.Timer) {
 	if stale {
 		t.Stop()
 	}
+}
+
+// startTime returns when the job first began running (zero if it
+// never reached a worker).
+func (j *Job) startTime() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.started
 }
 
 // setPanicStack records the stack of a panicking attempt for JobView.

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/justify"
 	"repro/internal/obs"
 )
 
@@ -29,16 +31,36 @@ type Metrics struct {
 	journalErrors      atomic.Int64
 	journalCompactions atomic.Int64
 
+	// Algorithm-level telemetry, accumulated from every generate and
+	// enrich run: the justification effort and the secondary-target
+	// outcomes the paper's cost/coverage argument is about.
+	justifyCalls      atomic.Int64
+	justifyProbes     atomic.Int64
+	justifyBacktracks atomic.Int64
+
 	// Fixed-bucket latency histograms (seconds): per pipeline stage,
 	// end-to-end per job (labeled by kind and terminal status), and
-	// queue wait between submit and the first run.
+	// queue wait between submit and the first run — or, for jobs shed
+	// before ever running (canceled while queued, e.g. at shutdown),
+	// between submit and cancellation, labeled by outcome.
 	stageSeconds *obs.HistogramVec
 	jobSeconds   *obs.HistogramVec
-	queueSeconds *obs.Histogram
+	queueSeconds *obs.HistogramVec
+
+	// secondaryOutcomes counts secondary accepts/rejects labeled by
+	// target set (p0, p1, ...) and outcome; regenPerTest distributes
+	// the per-test regeneration counts (non-cheap accepts).
+	secondaryOutcomes *obs.CounterVec
+	regenPerTest      *obs.Histogram
 
 	mu     sync.Mutex
 	stages map[string]*stageStat
 }
+
+// RegenBuckets are the upper bounds of the per-test regeneration
+// histogram: small integer counts, with le="0" isolating tests that
+// were never regenerated (all secondaries cheap or rejected).
+var RegenBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64}
 
 type stageStat struct {
 	count int64
@@ -54,10 +76,41 @@ func newMetrics() *Metrics {
 		jobSeconds: obs.NewHistogramVec("pdfd_job_duration_seconds",
 			"End-to-end job latency (submit to terminal status), by kind and status.",
 			obs.DefBuckets, "kind", "status"),
-		queueSeconds: obs.NewHistogram("pdfd_job_queue_wait_seconds",
-			"Wait between job submission and its first run.", obs.DefBuckets),
+		queueSeconds: obs.NewHistogramVec("pdfd_job_queue_wait_seconds",
+			"Wait between job submission and its first run (outcome=ran), or its cancellation for jobs shed before running (outcome=shed).",
+			obs.DefBuckets, "outcome"),
+		secondaryOutcomes: obs.NewCounterVec("pdfd_atpg_secondary_total",
+			"Secondary-target outcomes by target set (p0, p1, ...) and outcome (accept, reject).",
+			"set", "outcome"),
+		regenPerTest: obs.NewHistogram("pdfd_atpg_regenerations_per_test",
+			"Per-test justification regenerations (non-cheap secondary accepts).", RegenBuckets),
 	}
 }
+
+// observeATPG folds one generation/enrichment run's algorithm-level
+// telemetry into the cumulative metrics.
+func (m *Metrics) observeATPG(js justify.Stats, acceptsBySet, rejectsBySet, regenPerTest []int) {
+	m.justifyCalls.Add(int64(js.Calls))
+	m.justifyProbes.Add(int64(js.Probes))
+	m.justifyBacktracks.Add(int64(js.Backtracks))
+	for s, n := range acceptsBySet {
+		if n > 0 {
+			m.secondaryOutcomes.With(setLabel(s), "accept").Add(int64(n))
+		}
+	}
+	for s, n := range rejectsBySet {
+		if n > 0 {
+			m.secondaryOutcomes.With(setLabel(s), "reject").Add(int64(n))
+		}
+	}
+	for _, r := range regenPerTest {
+		m.regenPerTest.Observe(float64(r))
+	}
+}
+
+// setLabel names target set s in the paper's vocabulary: p0 is the
+// most critical set, p1 the next, and so on.
+func setLabel(s int) string { return fmt.Sprintf("p%d", s) }
 
 // observeStage records one execution of a named pipeline stage.
 func (m *Metrics) observeStage(name string, d time.Duration) {
@@ -147,6 +200,23 @@ func buildRegistry(e *Engine) *obs.Registry {
 		ctr("pdfd_journal_appends_total", "Journal records appended.", &m.journalAppends),
 		ctr("pdfd_journal_errors_total", "Journal append/compact failures.", &m.journalErrors),
 		ctr("pdfd_journal_compactions_total", "Journal compactions completed.", &m.journalCompactions),
+		ctr("pdfd_atpg_justify_calls_total", "Justification procedure invocations across all runs.", &m.justifyCalls),
+		ctr("pdfd_atpg_justify_probes_total", "Tentative value probes made by the justifiers.", &m.justifyProbes),
+		ctr("pdfd_atpg_justify_backtracks_total", "Branch-and-bound justification backtracks (zero for the simulation-based justifier).", &m.justifyBacktracks),
+		obs.NewCounterFunc("pdfd_events_published_total", "Job lifecycle events published on the event bus.",
+			func() float64 { return float64(e.events.Published()) }),
+		obs.NewCounterFunc("pdfd_events_dropped_total", "Events dropped because a subscriber's buffer was full.",
+			func() float64 { return float64(e.events.Dropped()) }),
+		obs.NewGaugeFunc("pdfd_event_subscribers", "Currently attached event-stream subscribers.",
+			func() float64 { return float64(e.events.Subscribers()) }),
+		obs.NewGaugeFunc("pdfd_cache_hit_ratio", "Result cache hits / lookups since start (0 before the first lookup).",
+			func() float64 {
+				hit, miss := float64(m.cacheHits.Load()), float64(m.cacheMisses.Load())
+				if hit+miss == 0 {
+					return 0
+				}
+				return hit / (hit + miss)
+			}),
 		obs.NewGaugeFunc("pdfd_jobs_running", "Jobs currently executing.",
 			func() float64 { return float64(m.jobsRunning.Load()) }),
 		obs.NewGaugeFunc("pdfd_queue_depth", "Instantaneous run-queue occupancy.",
@@ -158,7 +228,10 @@ func buildRegistry(e *Engine) *obs.Registry {
 		m.stageSeconds,
 		m.jobSeconds,
 		m.queueSeconds,
+		m.secondaryOutcomes,
+		m.regenPerTest,
 	)
+	obs.RegisterGoRuntime(reg)
 	return reg
 }
 

@@ -57,6 +57,9 @@ type ServerConfig struct {
 	// /v1/metrics; nil uses the engine's own (the right choice unless
 	// a front-end aggregates several engines).
 	Registry *obs.Registry
+	// Heartbeat paces the SSE keep-alive comments of
+	// /v1/jobs/{id}/events; 0 uses 15s.
+	Heartbeat time.Duration
 }
 
 // NewServer returns the JSON API handler served by cmd/pdfd. The
@@ -67,6 +70,7 @@ type ServerConfig struct {
 //	GET    /v1/jobs/{id}       job snapshot with span timeline; ?wait=5s blocks
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
 //	GET    /v1/jobs/{id}/trace the job's span timeline alone
+//	GET    /v1/jobs/{id}/events live job lifecycle stream (Server-Sent Events)
 //	GET    /v1/healthz         liveness probe; 503 "overloaded" past the watermark
 //	GET    /v1/metrics         Prometheus text-format exposition
 //	GET    /v1/metrics.json    the JSON counter snapshot (Snapshot)
@@ -102,6 +106,7 @@ func NewServerWith(e *Engine, sc ServerConfig) http.Handler {
 	route("GET /v1/jobs/{id}", "jobs.get", "", s.get)
 	route("DELETE /v1/jobs/{id}", "jobs.cancel", "", s.cancel)
 	route("GET /v1/jobs/{id}/trace", "jobs.trace", "", s.trace)
+	route("GET /v1/jobs/{id}/events", "jobs.events", "", s.jobEvents)
 	route("GET /v1/healthz", "healthz", "", s.healthz)
 	route("GET /v1/metrics", "metrics", "", s.metricsProm)
 	route("GET /v1/metrics.json", "metrics.json", "", s.metricsJSON)

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/events"
+)
+
+// defaultHeartbeat paces the SSE keep-alive comments between events:
+// frequent enough to defeat idle-connection timeouts in intermediaries,
+// rare enough to be free.
+const defaultHeartbeat = 15 * time.Second
+
+// events streams a job's lifecycle as Server-Sent Events:
+//
+//	GET /v1/jobs/{id}/events
+//
+// Each event frame carries the per-job sequence number as its SSE id,
+// the event type (queued, attempt, stage, retrying, done, failed,
+// canceled) as its event name, and the JSON-encoded events.Event as
+// its data. A reconnecting client sends the standard Last-Event-ID
+// header (or ?after= for curl) to resume past the events it already
+// saw; the stream replays from the job's bounded history ring, then
+// follows live. The response ends after the job's terminal event; a
+// client watching a job that already finished replays the recorded
+// lifecycle and gets a clean EOF. Heartbeat comments flow while the
+// job is idle (queued, mid-stage, or in a retry backoff).
+func (s *server) jobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.e.Get(id); !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job "+id, 0)
+		return
+	}
+	after := int64(0)
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("after")
+	}
+	if lastID != "" {
+		n, err := strconv.ParseInt(lastID, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec, "bad Last-Event-ID "+strconv.Quote(lastID), 0)
+			return
+		}
+		after = n
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	rc.Flush()
+
+	sub := s.e.Events().Subscribe(id, after, 0)
+	defer sub.Cancel()
+
+	heartbeat := s.cfg.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = defaultHeartbeat
+	}
+	ticker := time.NewTicker(heartbeat)
+	defer ticker.Stop()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-sub.Events():
+			if !ok {
+				// Terminal event delivered (or the replay of a finished
+				// job drained): end the response cleanly, noting any
+				// events this subscriber lost to a full buffer.
+				if n := sub.Dropped(); n > 0 {
+					fmt.Fprintf(w, ": %d events dropped\n\n", n)
+				}
+				rc.Flush()
+				return
+			}
+			if err := writeSSEEvent(w, ev); err != nil {
+				return
+			}
+			rc.Flush()
+		case <-ticker.C:
+			if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			rc.Flush()
+		}
+	}
+}
+
+// writeSSEEvent serializes one bus event as an SSE frame.
+func writeSSEEvent(w io.Writer, ev events.Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err
+}

@@ -1,0 +1,239 @@
+// Package events is a small in-process pub/sub bus for job lifecycle
+// events, built for the pdfd Server-Sent-Events endpoint: the engine
+// publishes one bounded stream per job; any number of subscribers
+// (HTTP clients watching a job) attach with a bounded buffer each.
+//
+// Three properties shape the design:
+//
+//   - Publishing never blocks. A subscriber that cannot keep up loses
+//     events (counted, per subscriber and bus-wide) rather than
+//     stalling the engine's workers.
+//   - Every event carries a per-job sequence number and the stream
+//     keeps a bounded history ring, so a reconnecting client can
+//     resume after the last event it saw (SSE Last-Event-ID) and a
+//     late subscriber to a finished job still replays the whole
+//     lifecycle.
+//   - A stream is closed exactly once, after its terminal event;
+//     subscriber channels then close, ending well-behaved SSE
+//     responses without polling.
+package events
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultHistory bounds the per-job history ring when NewBus is given
+// no explicit size: enough for every lifecycle + stage event of a
+// retried job, small enough that thousands of finished jobs stay
+// cheap.
+const DefaultHistory = 256
+
+// Event is one job lifecycle occurrence.
+type Event struct {
+	// Seq numbers events within one job's stream, from 1; it is the
+	// SSE event id, and Subscribe's afterSeq resumes past it.
+	Seq int64 `json:"seq"`
+	// JobID names the stream the event belongs to.
+	JobID string `json:"job_id"`
+	// Type is the event kind: queued, attempt, stage, retrying, done,
+	// failed, canceled (the engine's vocabulary; the bus is agnostic).
+	Type string `json:"type"`
+	// At is the publication time.
+	At time.Time `json:"at"`
+	// Data carries small string attributes (stage name, attempt
+	// number, error text); nil for events without any.
+	Data map[string]string `json:"data,omitempty"`
+}
+
+// Bus is a set of per-job event streams. All methods are safe for
+// concurrent use.
+type Bus struct {
+	history int
+
+	dropped     atomic.Int64
+	published   atomic.Int64
+	subscribers atomic.Int64
+
+	mu      sync.Mutex
+	streams map[string]*stream
+}
+
+type stream struct {
+	mu     sync.Mutex
+	seq    int64
+	ring   []Event // last len(ring) events, oldest first
+	max    int
+	closed bool
+	subs   map[*Subscription]struct{}
+}
+
+// NewBus returns an empty bus; history <= 0 uses DefaultHistory as the
+// per-job ring size.
+func NewBus(history int) *Bus {
+	if history <= 0 {
+		history = DefaultHistory
+	}
+	return &Bus{history: history, streams: make(map[string]*stream)}
+}
+
+// Dropped returns the total number of events dropped across all
+// subscribers because their buffers were full.
+func (b *Bus) Dropped() int64 { return b.dropped.Load() }
+
+// Published returns the total number of events published.
+func (b *Bus) Published() int64 { return b.published.Load() }
+
+// Subscribers returns the number of currently attached subscriptions.
+func (b *Bus) Subscribers() int64 { return b.subscribers.Load() }
+
+// get returns (creating if absent) the stream for jobID.
+func (b *Bus) get(jobID string) *stream {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.streams[jobID]
+	if st == nil {
+		st = &stream{max: b.history, subs: make(map[*Subscription]struct{})}
+		b.streams[jobID] = st
+	}
+	return st
+}
+
+// Publish appends one event to the job's stream and fans it out to the
+// subscribers; it never blocks (full subscriber buffers drop the event
+// for that subscriber and count it). Publishing to a closed stream is
+// a no-op returning a zero Event.
+func (b *Bus) Publish(jobID, typ string, data map[string]string) Event {
+	st := b.get(jobID)
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return Event{}
+	}
+	st.seq++
+	ev := Event{Seq: st.seq, JobID: jobID, Type: typ, At: time.Now(), Data: data}
+	if len(st.ring) == st.max {
+		copy(st.ring, st.ring[1:])
+		st.ring[len(st.ring)-1] = ev
+	} else {
+		st.ring = append(st.ring, ev)
+	}
+	for sub := range st.subs {
+		sub.send(ev, &b.dropped)
+	}
+	st.mu.Unlock()
+	b.published.Add(1)
+	return ev
+}
+
+// CloseJob ends the job's stream: subscriber channels close and future
+// Publish calls become no-ops. History is kept, so late subscribers
+// still replay the recorded lifecycle (and then observe the closed
+// channel). Closing an unknown or already-closed stream is a no-op.
+func (b *Bus) CloseJob(jobID string) {
+	b.mu.Lock()
+	st := b.streams[jobID]
+	b.mu.Unlock()
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	subs := make([]*Subscription, 0, len(st.subs))
+	for sub := range st.subs {
+		subs = append(subs, sub)
+		delete(st.subs, sub)
+	}
+	st.mu.Unlock()
+	for _, sub := range subs {
+		sub.detach(b)
+	}
+}
+
+// Subscription is one attached consumer of a job's stream. Receive
+// from Events; call Cancel when done (Cancel after the channel closed
+// is fine and idempotent).
+type Subscription struct {
+	ch      chan Event
+	dropped atomic.Int64
+	cancel  func()
+
+	closeOnce sync.Once
+	cancelled atomic.Bool
+}
+
+// Events is the subscription's delivery channel. It closes after the
+// job's stream closes (terminal event published) or Cancel is called.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Dropped returns how many events this subscription lost to a full
+// buffer.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// send delivers without blocking, counting drops locally and bus-wide.
+func (s *Subscription) send(ev Event, busDropped *atomic.Int64) {
+	select {
+	case s.ch <- ev:
+	default:
+		s.dropped.Add(1)
+		busDropped.Add(1)
+	}
+}
+
+// detach closes the delivery channel once.
+func (s *Subscription) detach(b *Bus) {
+	s.closeOnce.Do(func() {
+		close(s.ch)
+		b.subscribers.Add(-1)
+	})
+}
+
+// Subscribe attaches to the job's stream with a delivery buffer of
+// bufSize events (<= 0 uses the history size): recorded events with
+// Seq > afterSeq are replayed into the buffer first (dropping, with
+// counts, if it is too small), then live events follow. Subscribing
+// to a closed stream replays and returns a subscription whose channel
+// is already closed after the replayed events are drained.
+func (b *Bus) Subscribe(jobID string, afterSeq int64, bufSize int) *Subscription {
+	if bufSize <= 0 {
+		bufSize = b.history
+	}
+	sub := &Subscription{ch: make(chan Event, bufSize)}
+	st := b.get(jobID)
+	b.subscribers.Add(1)
+	st.mu.Lock()
+	for _, ev := range st.ring {
+		if ev.Seq > afterSeq {
+			sub.send(ev, &b.dropped)
+		}
+	}
+	if st.closed {
+		st.mu.Unlock()
+		sub.detach(b)
+		return sub
+	}
+	st.subs[sub] = struct{}{}
+	sub.cancel = func() {
+		st.mu.Lock()
+		delete(st.subs, sub)
+		st.mu.Unlock()
+		sub.detach(b)
+	}
+	st.mu.Unlock()
+	return sub
+}
+
+// Cancel detaches the subscription; its channel closes. Idempotent.
+func (s *Subscription) Cancel() {
+	if s.cancelled.Swap(true) {
+		return
+	}
+	if s.cancel != nil {
+		s.cancel()
+	}
+}

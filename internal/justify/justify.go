@@ -59,6 +59,10 @@ type Stats struct {
 	Successes int
 	Probes    int // tentative value probes
 	Decisions int // random or copy decisions
+	// Backtracks counts search backtracks; always zero for the
+	// simulation-based procedure (it never backtracks — a conflict
+	// fails the call), filled by the branch-and-bound backend.
+	Backtracks int
 }
 
 // Justifier generates two-pattern tests satisfying requirement cubes

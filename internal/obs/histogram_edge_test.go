@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// expose serializes one collector through a throwaway registry.
+func expose(t *testing.T, cs ...Collector) string {
+	t.Helper()
+	r := NewRegistry()
+	r.MustRegister(cs...)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// parseHistogram pulls the cumulative bucket counts (le → count), the
+// sum and the count out of a single-histogram exposition.
+func parseHistogram(t *testing.T, text, name string) (buckets map[string]float64, sum, count float64) {
+	t.Helper()
+	buckets = make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var v float64
+		switch {
+		case strings.HasPrefix(line, name+"_bucket{"):
+			le := line[strings.Index(line, `le="`)+4:]
+			le = le[:strings.Index(le, `"`)]
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v)
+			buckets[le] = v
+		case strings.HasPrefix(line, name+"_sum"):
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v)
+			sum = v
+		case strings.HasPrefix(line, name+"_count"):
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v)
+			count = v
+		}
+	}
+	return buckets, sum, count
+}
+
+// A histogram that has never observed still exposes a complete,
+// coherent family: every bucket at 0, +Inf present, sum and count 0.
+func TestHistogramZeroObservations(t *testing.T) {
+	h := NewHistogram("zero_hist_seconds", "never observed", []float64{0.1, 1})
+	text := expose(t, h)
+	buckets, sum, count := parseHistogram(t, text, "zero_hist_seconds")
+	if len(buckets) != 3 {
+		t.Fatalf("bucket rows = %d, want 3 (+Inf included):\n%s", len(buckets), text)
+	}
+	for le, v := range buckets {
+		if v != 0 {
+			t.Errorf("le=%s count = %v, want 0", le, v)
+		}
+	}
+	if _, ok := buckets["+Inf"]; !ok {
+		t.Errorf("no +Inf bucket:\n%s", text)
+	}
+	if sum != 0 || count != 0 {
+		t.Errorf("sum=%v count=%v, want 0/0", sum, count)
+	}
+	if !strings.Contains(text, "# TYPE zero_hist_seconds histogram") {
+		t.Errorf("missing TYPE line:\n%s", text)
+	}
+}
+
+// Observations on, above and exactly at bucket bounds land coherently:
+// the +Inf bucket equals the count, and cumulative counts never
+// decrease. le is inclusive, so an observation exactly at a bound
+// belongs to that bound's bucket.
+func TestHistogramInfBucketCoherence(t *testing.T) {
+	h := NewHistogram("edge_hist_seconds", "edges", []float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.1, 0.5, 1.0, 99, math.Inf(1)} {
+		h.Observe(v)
+	}
+	text := expose(t, h)
+	buckets, _, count := parseHistogram(t, text, "edge_hist_seconds")
+	if count != 6 {
+		t.Fatalf("count = %v, want 6", count)
+	}
+	if buckets["+Inf"] != count {
+		t.Errorf("+Inf bucket %v != count %v", buckets["+Inf"], count)
+	}
+	// le="0.1" holds 0.05 and the exactly-at-bound 0.1.
+	if buckets["0.1"] != 2 {
+		t.Errorf(`le="0.1" = %v, want 2 (bound is inclusive)`, buckets["0.1"])
+	}
+	// le="1" adds 0.5 and the exactly-at-bound 1.0.
+	if buckets["1"] != 4 {
+		t.Errorf(`le="1" = %v, want 4`, buckets["1"])
+	}
+	if buckets["0.1"] > buckets["1"] || buckets["1"] > buckets["+Inf"] {
+		t.Errorf("non-cumulative buckets: %v", buckets)
+	}
+}
+
+// Concurrent Observe with concurrent scrapes; the final exposition
+// accounts for every observation. Run under -race.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram("conc_hist_seconds", "concurrent", nil)
+	hv := NewHistogramVec("conc_vec_seconds", "concurrent vec", nil, "shard")
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i) / perG)
+				hv.With(fmt.Sprintf("s%d", g%2)).Observe(float64(i) / perG)
+			}
+		}(g)
+	}
+	// Scrape while observations are in flight: must stay parseable and
+	// internally consistent (no torn counts).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r := NewRegistry()
+		r.MustRegister(h, hv)
+		for i := 0; i < 20; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	text := expose(t, h)
+	buckets, _, count := parseHistogram(t, text, "conc_hist_seconds")
+	if count != goroutines*perG {
+		t.Errorf("exposed count = %v, want %d", count, goroutines*perG)
+	}
+	if buckets["+Inf"] != count {
+		t.Errorf("+Inf %v != count %v", buckets["+Inf"], count)
+	}
+}
+
+// The scrape-time Go runtime collectors expose sane values and a
+// coherent GC pause histogram.
+func TestGoRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterGoRuntime(r)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE go_goroutines gauge",
+		"# TYPE go_heap_alloc_bytes gauge",
+		"# TYPE go_gc_pause_seconds histogram",
+		`go_gc_pause_seconds_bucket{le="+Inf"}`,
+		"go_gc_pause_seconds_sum",
+		"go_gc_pause_seconds_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("runtime exposition missing %q:\n%s", want, text)
+		}
+	}
+	var goroutines float64
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "go_goroutines ") {
+			fmt.Sscanf(strings.TrimPrefix(line, "go_goroutines "), "%g", &goroutines)
+		}
+	}
+	if goroutines < 1 {
+		t.Errorf("go_goroutines = %v, want >= 1", goroutines)
+	}
+	buckets, _, count := parseHistogram(t, text, "go_gc_pause_seconds")
+	if buckets["+Inf"] != count {
+		t.Errorf("gc pause +Inf %v != count %v", buckets["+Inf"], count)
+	}
+}

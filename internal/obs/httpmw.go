@@ -46,6 +46,11 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// handlers behind the middleware can still Flush (the SSE endpoint) or
+// set write deadlines.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // Middleware wraps an HTTP handler with the observability trio:
 //
 //   - request-ID correlation: an incoming X-Request-ID is honored,

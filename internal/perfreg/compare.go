@@ -1,0 +1,127 @@
+package perfreg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Thresholds tune the noisy-metric gates of Compare. Zero fields use
+// the defaults; deterministic metrics (test count, coverage) have no
+// threshold by design.
+type Thresholds struct {
+	// WallFrac is the fractional slowdown tolerated on the min wall
+	// time before it counts as a regression; 0 means 0.35 (CI machines
+	// are noisy neighbors).
+	WallFrac float64
+	// WallFloorSeconds is the absolute slowdown a case must also
+	// exceed, so microsecond-scale cases cannot trip the fractional
+	// gate on scheduler jitter; 0 means 0.05s.
+	WallFloorSeconds float64
+	// AllocFrac / AllocFloorBytes gate the min allocation volume the
+	// same way; 0 means 0.30 and 1 MiB.
+	AllocFrac       float64
+	AllocFloorBytes uint64
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.WallFrac == 0 {
+		t.WallFrac = 0.35
+	}
+	if t.WallFloorSeconds == 0 {
+		t.WallFloorSeconds = 0.05
+	}
+	if t.AllocFrac == 0 {
+		t.AllocFrac = 0.30
+	}
+	if t.AllocFloorBytes == 0 {
+		t.AllocFloorBytes = 1 << 20
+	}
+	return t
+}
+
+// Regression is one gated metric that got worse past its threshold.
+type Regression struct {
+	Case   string `json:"case"`
+	Metric string `json:"metric"`
+	Detail string `json:"detail"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s: %s", r.Case, r.Metric, r.Detail)
+}
+
+// Compare diffs current against baseline case by case (matched on
+// Name). It returns the regressions — the gate `make bench-check`
+// fails on — and human-readable notes covering everything else worth
+// a look: improvements, suite drift (cases added or removed), and
+// environment changes.
+func Compare(baseline, current *Snapshot, th Thresholds) ([]Regression, []string) {
+	th = th.withDefaults()
+	var regs []Regression
+	var notes []string
+
+	if baseline.GoVersion != current.GoVersion {
+		notes = append(notes, fmt.Sprintf("go version changed: %s -> %s", baseline.GoVersion, current.GoVersion))
+	}
+	base := make(map[string]CaseResult, len(baseline.Cases))
+	for _, c := range baseline.Cases {
+		base[c.Name] = c
+	}
+	seen := make(map[string]bool, len(current.Cases))
+	for _, cur := range current.Cases {
+		seen[cur.Name] = true
+		b, ok := base[cur.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: new case, no baseline", cur.Name))
+			continue
+		}
+
+		// Noisy gates: min-of-reps past fraction AND floor.
+		if slow := cur.WallSecondsMin - b.WallSecondsMin; slow > th.WallFloorSeconds &&
+			cur.WallSecondsMin > b.WallSecondsMin*(1+th.WallFrac) {
+			regs = append(regs, Regression{cur.Name, "wall_seconds_min",
+				fmt.Sprintf("%.3fs -> %.3fs (%+.0f%%, threshold %+.0f%%)",
+					b.WallSecondsMin, cur.WallSecondsMin,
+					100*slow/b.WallSecondsMin, 100*th.WallFrac)})
+		} else if b.WallSecondsMin > th.WallFloorSeconds &&
+			cur.WallSecondsMin < b.WallSecondsMin*(1-th.WallFrac) {
+			notes = append(notes, fmt.Sprintf("%s: wall improved %.3fs -> %.3fs",
+				cur.Name, b.WallSecondsMin, cur.WallSecondsMin))
+		}
+		if grew := cur.AllocBytesMin - b.AllocBytesMin; cur.AllocBytesMin > b.AllocBytesMin &&
+			grew > th.AllocFloorBytes &&
+			float64(cur.AllocBytesMin) > float64(b.AllocBytesMin)*(1+th.AllocFrac) {
+			regs = append(regs, Regression{cur.Name, "alloc_bytes_min",
+				fmt.Sprintf("%d -> %d bytes (%+.0f%%, threshold %+.0f%%)",
+					b.AllocBytesMin, cur.AllocBytesMin,
+					100*float64(grew)/float64(b.AllocBytesMin), 100*th.AllocFrac)})
+		}
+
+		// Deterministic gates: exact.
+		if cur.Tests > b.Tests {
+			regs = append(regs, Regression{cur.Name, "tests",
+				fmt.Sprintf("test set grew %d -> %d", b.Tests, cur.Tests)})
+		} else if cur.Tests < b.Tests {
+			notes = append(notes, fmt.Sprintf("%s: test set shrank %d -> %d", cur.Name, b.Tests, cur.Tests))
+		}
+		if cur.P0Detected < b.P0Detected {
+			regs = append(regs, Regression{cur.Name, "p0_detected",
+				fmt.Sprintf("P0 coverage dropped %d -> %d of %d", b.P0Detected, cur.P0Detected, cur.P0Targets)})
+		}
+		if cur.P1Detected < b.P1Detected {
+			regs = append(regs, Regression{cur.Name, "p1_detected",
+				fmt.Sprintf("P1 coverage dropped %d -> %d of %d", b.P1Detected, cur.P1Detected, cur.P1Targets)})
+		}
+	}
+	var gone []string
+	for name := range base {
+		if !seen[name] {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		notes = append(notes, fmt.Sprintf("%s: case removed from suite (was in baseline)", name))
+	}
+	return regs, notes
+}

@@ -1,0 +1,148 @@
+package perfreg
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func tinySuite() []Case {
+	return []Case{
+		{Name: "s27-generate", Kind: engine.KindGenerate, Circuit: "s27", NP: 8, Seed: 1},
+		{Name: "s27-enrich", Kind: engine.KindEnrich, Circuit: "s27", NP: 16, NP0: 8, Seed: 1},
+	}
+}
+
+func TestRunProducesCoherentSnapshot(t *testing.T) {
+	snap, err := Run(context.Background(), tinySuite(), Options{Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SchemaVersion != SchemaVersion || snap.Reps != 2 || snap.GoVersion == "" {
+		t.Fatalf("bad snapshot header: %+v", snap)
+	}
+	if len(snap.Cases) != 2 {
+		t.Fatalf("got %d cases, want 2", len(snap.Cases))
+	}
+	for _, c := range snap.Cases {
+		if c.WallSecondsMin <= 0 || c.WallSecondsMean < c.WallSecondsMin {
+			t.Errorf("%s: wall min %v mean %v incoherent", c.Name, c.WallSecondsMin, c.WallSecondsMean)
+		}
+		if c.Tests <= 0 || c.P0Detected <= 0 {
+			t.Errorf("%s: empty outcome: %+v", c.Name, c)
+		}
+		for _, stage := range []string{"prepare", "generation"} {
+			if _, ok := c.StageSeconds[stage]; !ok {
+				t.Errorf("%s: stage %q missing from %v", c.Name, stage, c.StageSeconds)
+			}
+		}
+	}
+	if enrich := snap.Cases[1]; enrich.P1Targets == 0 || enrich.P1Detected == 0 {
+		t.Errorf("enrich case recorded no P1 outcome: %+v", enrich)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cases) != len(snap.Cases) || back.Cases[0].Tests != snap.Cases[0].Tests {
+		t.Errorf("snapshot did not round-trip: %+v vs %+v", back.Cases, snap.Cases)
+	}
+
+	// A run compared against its own snapshot never regresses.
+	if regs, _ := Compare(snap, snap, Thresholds{}); len(regs) != 0 {
+		t.Errorf("self-comparison found regressions: %v", regs)
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema_version": 99, "cases": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("schema mismatch must fail")
+	}
+}
+
+func baselinePair() (*Snapshot, *Snapshot) {
+	mk := func() *Snapshot {
+		return &Snapshot{
+			SchemaVersion: SchemaVersion, GoVersion: "go1.22", Reps: 3,
+			Cases: []CaseResult{{
+				Name: "case-a", Kind: engine.KindEnrich, Circuit: "s641", Reps: 3,
+				WallSecondsMin: 0.200, WallSecondsMean: 0.220, AllocBytesMin: 64 << 20,
+				Tests: 40, P0Detected: 180, P0Targets: 200, P1Detected: 300, P1Targets: 800,
+			}},
+		}
+	}
+	return mk(), mk()
+}
+
+func TestCompareGates(t *testing.T) {
+	t.Run("identical is clean", func(t *testing.T) {
+		base, cur := baselinePair()
+		if regs, _ := Compare(base, cur, Thresholds{}); len(regs) != 0 {
+			t.Errorf("regressions on identical snapshots: %v", regs)
+		}
+	})
+	t.Run("doctored slow baseline trips the wall gate", func(t *testing.T) {
+		base, cur := baselinePair()
+		base.Cases[0].WallSecondsMin = 0.050 // current 0.200 = 4x, +150ms
+		regs, _ := Compare(base, cur, Thresholds{})
+		if len(regs) != 1 || regs[0].Metric != "wall_seconds_min" {
+			t.Fatalf("want one wall regression, got %v", regs)
+		}
+	})
+	t.Run("slowdown under the absolute floor is noise", func(t *testing.T) {
+		base, cur := baselinePair()
+		base.Cases[0].WallSecondsMin = 0.010 // 3x but only +20ms
+		cur.Cases[0].WallSecondsMin = 0.030
+		if regs, _ := Compare(base, cur, Thresholds{}); len(regs) != 0 {
+			t.Errorf("sub-floor slowdown flagged: %v", regs)
+		}
+	})
+	t.Run("slowdown under the fraction is noise", func(t *testing.T) {
+		base, cur := baselinePair()
+		cur.Cases[0].WallSecondsMin = 0.260 // +30% < 35%, though +60ms > floor
+		if regs, _ := Compare(base, cur, Thresholds{}); len(regs) != 0 {
+			t.Errorf("sub-threshold slowdown flagged: %v", regs)
+		}
+	})
+	t.Run("allocation growth trips the alloc gate", func(t *testing.T) {
+		base, cur := baselinePair()
+		cur.Cases[0].AllocBytesMin = 128 << 20 // 2x, +64MiB
+		regs, _ := Compare(base, cur, Thresholds{})
+		if len(regs) != 1 || regs[0].Metric != "alloc_bytes_min" {
+			t.Fatalf("want one alloc regression, got %v", regs)
+		}
+	})
+	t.Run("deterministic gates are exact", func(t *testing.T) {
+		base, cur := baselinePair()
+		cur.Cases[0].Tests = 41       // one extra test: regression
+		cur.Cases[0].P0Detected = 179 // one lost fault: regression
+		cur.Cases[0].P1Detected = 299
+		regs, _ := Compare(base, cur, Thresholds{})
+		if len(regs) != 3 {
+			t.Fatalf("want tests+p0+p1 regressions, got %v", regs)
+		}
+	})
+	t.Run("suite drift is a note, not a failure", func(t *testing.T) {
+		base, cur := baselinePair()
+		cur.Cases[0].Name = "case-b"
+		regs, notes := Compare(base, cur, Thresholds{})
+		if len(regs) != 0 {
+			t.Errorf("renamed case flagged as regression: %v", regs)
+		}
+		if len(notes) != 2 { // new case + removed case
+			t.Errorf("want 2 drift notes, got %v", notes)
+		}
+	})
+}
