@@ -4,7 +4,7 @@ GO ?= go
 # refresh it with `make bench` and commit the new file (see PERF.md).
 BENCH_BASELINE ?= BENCH_2026-08-06.json
 
-.PHONY: build test race check chaos obs-smoke bench bench-check go-bench engine-bench
+.PHONY: build test lint race check chaos obs-smoke bench bench-check go-bench engine-bench
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,19 @@ build:
 test: build
 	$(GO) test ./...
 
-# Engine tests under the race detector (cheap; always part of check).
+# The project-invariant static analysis (internal/lint + cmd/pdflint):
+# determinism, lock discipline, goroutine hygiene, obs hygiene.
+# Nonzero exit on any finding; see README "Static analysis".
+lint:
+	$(GO) run ./cmd/pdflint ./...
+
+# The concurrency-bearing packages under the race detector (cheap;
+# always part of check): the engine and its fault simulator, plus the
+# event bus, journal and retry packages the lock-discipline analyzer
+# reasons about.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/faultsim/...
+	$(GO) test -race ./internal/engine/... ./internal/faultsim/... \
+		./internal/events/... ./internal/journal/... ./internal/retry/...
 
 # The fault-injection suite: panic containment, retry/backoff, crash +
 # journal replay, load shedding — twice under the race detector.
@@ -31,6 +41,7 @@ obs-smoke:
 # regression gate against the committed baseline.
 check:
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) bench-check

@@ -217,7 +217,7 @@ func GenerateCtx(ctx context.Context, c *circuit.Circuit, fcs []robust.FaultCond
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	start := time.Now()
+	start := time.Now() //lint:telemetry feeds Result.Elapsed only, never a generation decision
 	g := newGenerator(c, fcs, cfg)
 	g.ctx = ctx
 	res := &Result{}
@@ -242,7 +242,7 @@ func GenerateCtx(ctx context.Context, c *circuit.Circuit, fcs []robust.FaultCond
 		g.simDrop(ctx, test)
 	}
 	g.fill(res)
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(start) //lint:telemetry wall-clock report, not part of the digest
 	res.JustifyStats = g.just.stats()
 	return res, ctx.Err()
 }

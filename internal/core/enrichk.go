@@ -52,7 +52,7 @@ func EnrichKCtx(ctx context.Context, c *circuit.Circuit, sets [][]robust.FaultCo
 	if cfg.Heuristic == Uncompacted {
 		cfg.Heuristic = ValueBased
 	}
-	start := time.Now()
+	start := time.Now() //lint:telemetry feeds EnrichKResult.Elapsed only, never a generation decision
 	var all []robust.FaultConditions
 	setOf := make([]int, 0)
 	for s, set := range sets {
@@ -91,6 +91,7 @@ func EnrichKCtx(ctx context.Context, c *circuit.Circuit, sets [][]robust.FaultCo
 		SecondaryAcceptsBySet: res.SecondaryAcceptsBySet,
 		SecondaryRejectsBySet: res.SecondaryRejectsBySet,
 		RegenPerTest:          res.RegenPerTest,
+		//lint:telemetry wall-clock report, not part of the digest
 		Elapsed:               time.Since(start),
 		JustifyStats:          g.just.stats(),
 	}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/robust"
 )
 
 // The per-set secondary tallies and the per-test regeneration counts
@@ -73,5 +75,39 @@ func TestGeneratePerSetTallies(t *testing.T) {
 		if r != 0 {
 			t.Errorf("uncompacted run regenerated a test: %v", un.RegenPerTest)
 		}
+	}
+}
+
+// The wall-clock reads in GenerateCtx and EnrichKCtx are annotated
+// //lint:telemetry: they may feed the Elapsed field and nothing else.
+// This pins that invariant — two same-seed runs must be deep-equal in
+// every field once Elapsed is zeroed, so the clock demonstrably never
+// leaks into tests, detection bookkeeping or justification counters
+// (which journal replay and the engine result cache digest).
+func TestWallClockConfinedToElapsed(t *testing.T) {
+	c := bench.S27()
+	fcs := screened(t, c, 0)
+	run := func() *Result {
+		res := Generate(c, fcs, Config{Heuristic: ValueBased, Seed: 9})
+		res.Elapsed = 0
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed Generate results differ beyond Elapsed:\n%+v\n%+v", a, b)
+	}
+
+	if len(fcs) < 12 {
+		t.Fatalf("only %d screened faults on s27", len(fcs))
+	}
+	sets := [][]robust.FaultConditions{fcs[:8], fcs[8:]}
+	runK := func() *EnrichKResult {
+		res := EnrichK(c, sets, Config{Seed: 9})
+		res.Elapsed = 0
+		return res
+	}
+	ka, kb := runK(), runK()
+	if !reflect.DeepEqual(ka, kb) {
+		t.Fatalf("same-seed EnrichK results differ beyond Elapsed:\n%+v\n%+v", ka, kb)
 	}
 }

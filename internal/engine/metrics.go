@@ -177,6 +177,7 @@ type Snapshot struct {
 func buildRegistry(e *Engine) *obs.Registry {
 	m := e.metrics
 	ctr := func(name, help string, v *atomic.Int64) obs.Collector {
+		//lint:ignore metricname name is forwarded verbatim from the constant strings below; MustRegister re-validates the grammar at registration
 		return obs.NewCounterFunc(name, help, func() float64 { return float64(v.Load()) })
 	}
 	b2f := func(b bool) float64 {

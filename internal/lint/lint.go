@@ -1,0 +1,330 @@
+// Package lint is pdflint's hand-rolled static-analysis framework: a
+// stdlib-only driver (go/parser + go/ast + go/types, no x/tools) that
+// loads every package of the module and runs project-specific
+// analyzers over the type-checked ASTs.
+//
+// The checks encode invariants the rest of the repository depends on
+// but the compiler cannot see:
+//
+//   - determinism: the generation pipeline (internal/core,
+//     internal/justify, internal/faultsim, internal/pathenum,
+//     internal/tval) must be bit-identical run to run — journal
+//     replay, the engine result cache and the perfreg baseline all
+//     key on digests of its output. No unseeded math/rand, no
+//     time.Now outside telemetry-annotated call sites, no map
+//     iteration feeding an ordered result without a sort.
+//   - lock discipline: no channel operation or blocking call while a
+//     sync.Mutex/RWMutex is held, and no Lock without a reachable
+//     Unlock in the same function.
+//   - goroutine hygiene: long-lived packages may only spawn
+//     goroutines that are cancelable (take or capture a
+//     context.Context) or tracked (WaitGroup).
+//   - obs hygiene: metric names constant-foldable and well-formed at
+//     registration sites, every StartSpan ended, engine handlers
+//     answering errors through the unified envelope only.
+//
+// False positives are suppressed in place with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above; the reason is recorded in
+// the run result (and in -json output) so suppressions stay auditable.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	// PkgPath is the import path ("repro/internal/core").
+	PkgPath string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Fset positions every file of the load (shared across packages).
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package object (never nil, but
+	// possibly incomplete if TypeErrors is non-empty).
+	Types *types.Package
+	// Info carries expression types, constant values, and uses/defs.
+	Info *types.Info
+	// TypeErrors are the (tolerated) type-checking errors; analysis
+	// proceeds on partial information.
+	TypeErrors []error
+
+	imports []string // module-local imports, for topological loading
+}
+
+// Diagnostic is one finding, positioned at file:line:col.
+type Diagnostic struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Suppression records a diagnostic that a //lint:ignore directive
+// silenced, together with the contributor-supplied reason.
+type Suppression struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+	Message  string `json:"message"`
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name is the flag / directive name ("maporder").
+	Name string
+	// Doc is the one-line description printed by pdflint -list.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass is one (analyzer, package) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Config   *Config
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expr, or nil when type checking could
+// not resolve it (analyzers degrade gracefully on partial info).
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	return p.Pkg.Info.TypeOf(expr)
+}
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	if o := p.Pkg.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// Config scopes the analyzers to the packages whose invariants they
+// encode. Paths are import-path prefixes; DefaultConfig returns the
+// project values and tests point them at fixture packages instead.
+type Config struct {
+	// DeterministicPkgs are the bit-identical generation packages the
+	// rand / timenow / maporder analyzers police.
+	DeterministicPkgs []string
+	// LongLivedPkgs are the daemon-lifetime packages whose goroutines
+	// must be cancelable or tracked (gofunc analyzer).
+	LongLivedPkgs []string
+	// EnginePkgs are the packages whose HTTP handlers must answer
+	// errors through the unified envelope (errenvelope analyzer).
+	EnginePkgs []string
+	// ObsPkg is the import path of the observability package whose
+	// metric constructors and StartSpan the obs analyzers recognize.
+	ObsPkg string
+}
+
+// DefaultConfig returns the project scoping (see package comment).
+func DefaultConfig() *Config {
+	return &Config{
+		DeterministicPkgs: []string{
+			"repro/internal/core",
+			"repro/internal/justify",
+			"repro/internal/faultsim",
+			"repro/internal/pathenum",
+			"repro/internal/tval",
+		},
+		LongLivedPkgs: []string{
+			"repro/internal/engine",
+			"repro/internal/events",
+			"repro/internal/journal",
+			"repro/internal/retry",
+			"repro/internal/obs",
+		},
+		EnginePkgs: []string{"repro/internal/engine"},
+		ObsPkg:     "repro/internal/obs",
+	}
+}
+
+func matchesAny(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Deterministic reports whether pkg is under determinism discipline.
+func (c *Config) Deterministic(pkg *Package) bool {
+	return matchesAny(pkg.PkgPath, c.DeterministicPkgs)
+}
+
+// LongLived reports whether pkg must keep its goroutines cancelable.
+func (c *Config) LongLived(pkg *Package) bool {
+	return matchesAny(pkg.PkgPath, c.LongLivedPkgs)
+}
+
+// Engine reports whether pkg serves the /v1 error envelope.
+func (c *Config) Engine(pkg *Package) bool {
+	return matchesAny(pkg.PkgPath, c.EnginePkgs)
+}
+
+// Analyzers returns every analyzer in stable (presentation) order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerRand,
+		AnalyzerTimeNow,
+		AnalyzerMapOrder,
+		AnalyzerLocks,
+		AnalyzerGoFunc,
+		AnalyzerMetricName,
+		AnalyzerSpanEnd,
+		AnalyzerErrEnvelope,
+	}
+}
+
+// Select returns the analyzers to run given comma-separated enable
+// and disable lists (empty enable means all). Unknown names error so
+// a typo in -enable/-disable cannot silently skip a check.
+func Select(enable, disable string) ([]*Analyzer, error) {
+	all := Analyzers()
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	split := func(s string) ([]string, error) {
+		var out []string
+		for _, f := range strings.Split(s, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			if _, ok := byName[f]; !ok {
+				return nil, fmt.Errorf("lint: unknown analyzer %q (run pdflint -list)", f)
+			}
+			out = append(out, f)
+		}
+		return out, nil
+	}
+	en, err := split(enable)
+	if err != nil {
+		return nil, err
+	}
+	dis, err := split(disable)
+	if err != nil {
+		return nil, err
+	}
+	disabled := make(map[string]bool, len(dis))
+	for _, n := range dis {
+		disabled[n] = true
+	}
+	var sel []*Analyzer
+	if len(en) == 0 {
+		for _, a := range all {
+			if !disabled[a.Name] {
+				sel = append(sel, a)
+			}
+		}
+		return sel, nil
+	}
+	for _, n := range en {
+		if !disabled[n] {
+			sel = append(sel, byName[n])
+		}
+	}
+	return sel, nil
+}
+
+// Result is one full run: surviving diagnostics (sorted by position)
+// plus the suppressions that //lint:ignore directives recorded.
+type Result struct {
+	Diags      []Diagnostic
+	Suppressed []Suppression
+}
+
+// Run executes the analyzers over the packages, applies //lint:ignore
+// suppressions, and returns the sorted result.
+func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) *Result {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	res := &Result{}
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Config: cfg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if reason, ok := ignores.match(d); ok {
+					res.Suppressed = append(res.Suppressed, Suppression{
+						File: d.File, Line: d.Line, Analyzer: d.Analyzer,
+						Reason: reason, Message: d.Message,
+					})
+					continue
+				}
+				res.Diags = append(res.Diags, d)
+			}
+		}
+	}
+	sortDiags(res.Diags)
+	sort.Slice(res.Suppressed, func(i, j int) bool {
+		a, b := res.Suppressed[i], res.Suppressed[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

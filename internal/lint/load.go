@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LoadOptions parameterize LoadModule.
+type LoadOptions struct {
+	// ExtraDirs are directories loaded in addition to the module walk
+	// even when the walk would skip them (fixture packages live under
+	// testdata/, which the walk ignores like the go tool does).
+	ExtraDirs []string
+	// Only restricts the walk to directories under these roots
+	// (relative to the module root). Empty means the whole module.
+	Only []string
+}
+
+// LoadModule parses and type-checks every package of the module
+// rooted at root (skipping testdata, hidden and vendor directories,
+// and _test.go files), in dependency order so that intra-module
+// imports resolve to fully checked packages. Standard-library imports
+// are type-checked from GOROOT source via go/importer's source
+// importer — the module itself stays zero-dependency, so stdlib and
+// module-local packages are the only two cases.
+//
+// Type errors do not abort the load: they are recorded on the package
+// and analysis proceeds on partial information, so one broken file
+// cannot hide findings elsewhere.
+func LoadModule(root string, opts *LoadOptions) ([]*Package, error) {
+	if opts == nil {
+		opts = &LoadOptions{}
+	}
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	dirs, err := packageDirs(root, opts.Only)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range opts.ExtraDirs {
+		ad, err := filepath.Abs(d)
+		if err != nil {
+			return nil, err
+		}
+		dirs = append(dirs, ad)
+	}
+	sort.Strings(dirs)
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	byPath := make(map[string]*Package)
+	for _, dir := range dirs {
+		pkg, err := parseDir(fset, root, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no non-test Go files
+		}
+		pkgs = append(pkgs, pkg)
+		byPath[pkg.PkgPath] = pkg
+	}
+
+	ordered, err := topoSort(pkgs, byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	local := make(map[string]*types.Package)
+	std := importer.ForCompiler(fset, "source", nil)
+	imp := &chainImporter{local: local, std: std}
+	for _, pkg := range ordered {
+		typecheck(fset, pkg, imp)
+		if pkg.Types != nil {
+			local[pkg.PkgPath] = pkg.Types
+		}
+	}
+	return ordered, nil
+}
+
+// chainImporter resolves module-local imports from the packages the
+// loader has already checked and everything else (stdlib) from
+// GOROOT source.
+type chainImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+	memo  map[string]*types.Package
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	if p, ok := c.memo[path]; ok {
+		return p, nil
+	}
+	p, err := c.std.Import(path)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %w", path, err)
+	}
+	if c.memo == nil {
+		c.memo = make(map[string]*types.Package)
+	}
+	c.memo[path] = p
+	return p, nil
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// packageDirs walks root collecting every directory that holds Go
+// files, skipping what the go tool skips: testdata, vendor, hidden
+// and underscore-prefixed directories.
+func packageDirs(root string, only []string) ([]string, error) {
+	roots := []string{root}
+	if len(only) > 0 {
+		roots = nil
+		for _, o := range only {
+			roots = append(roots, filepath.Join(root, o))
+		}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	for _, r := range roots {
+		err := filepath.WalkDir(r, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != r && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) && !seen[path] {
+				seen[path] = true
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isLintedGoFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isLintedGoFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// parseDir parses the non-test Go files of dir into a Package (nil if
+// the directory holds none).
+func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !isLintedGoFile(e.Name()) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err == nil {
+				importSet[p] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgPath := modPath
+	if rel != "." {
+		pkgPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	var localImports []string
+	for p := range importSet {
+		if p == modPath || strings.HasPrefix(p, modPath+"/") {
+			localImports = append(localImports, p)
+		}
+	}
+	sort.Strings(localImports)
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    fset,
+		Files:   files,
+		imports: localImports,
+	}, nil
+}
+
+// topoSort orders packages so every module-local import precedes its
+// importer (imports of packages outside the load set are ignored —
+// the importer falls back to source-checking them on demand is not
+// possible for module paths, so analyzers just see partial types).
+func topoSort(pkgs []*Package, byPath map[string]*Package) ([]*Package, error) {
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int, len(pkgs))
+	var ordered []*Package
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.PkgPath] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", p.PkgPath)
+		}
+		state[p.PkgPath] = visiting
+		for _, imp := range p.imports {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.PkgPath] = done
+		ordered = append(ordered, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+func typecheck(fset *token.FileSet, pkg *Package, imp types.Importer) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tpkg, _ := conf.Check(pkg.PkgPath, fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+}

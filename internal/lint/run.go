@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// JSONReport is the stable `pdflint -json` schema (documented in
+// API.md, "Tooling appendix"). Version bumps only on breaking shape
+// changes; the bench harness archives this object verbatim alongside
+// BENCH snapshots.
+type JSONReport struct {
+	// Version is the schema version (currently 1).
+	Version int `json:"version"`
+	// Clean is true when no diagnostic survived suppression.
+	Clean bool `json:"clean"`
+	// Diagnostics are the surviving findings, sorted by file, line,
+	// column, analyzer.
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Suppressed are the //lint:ignore'd findings with their recorded
+	// reasons, same order.
+	Suppressed []Suppression `json:"suppressed"`
+	// Counts maps analyzer name to surviving-diagnostic count; absent
+	// analyzers found nothing.
+	Counts map[string]int `json:"counts"`
+}
+
+// Report converts a run result into the JSON schema, with file paths
+// rewritten relative to root (so output is stable across checkouts).
+func (r *Result) Report(root string) *JSONReport {
+	rep := &JSONReport{
+		Version:     1,
+		Clean:       len(r.Diags) == 0,
+		Diagnostics: make([]Diagnostic, 0, len(r.Diags)),
+		Suppressed:  make([]Suppression, 0, len(r.Suppressed)),
+		Counts:      make(map[string]int),
+	}
+	for _, d := range r.Diags {
+		d.File = relPath(root, d.File)
+		rep.Diagnostics = append(rep.Diagnostics, d)
+		rep.Counts[d.Analyzer]++
+	}
+	for _, s := range r.Suppressed {
+		s.File = relPath(root, s.File)
+		rep.Suppressed = append(rep.Suppressed, s)
+	}
+	return rep
+}
+
+func relPath(root, path string) string {
+	if root == "" {
+		return path
+	}
+	if rel, err := filepath.Rel(root, path); err == nil && !filepath.IsAbs(rel) &&
+		rel != ".." && !hasDotDotPrefix(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// WriteText renders the report in the classic file:line:col form,
+// one diagnostic per line, followed by a summary.
+func (rep *JSONReport) WriteText(w io.Writer, verbose bool) {
+	for _, d := range rep.Diagnostics {
+		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	}
+	if verbose {
+		for _, s := range rep.Suppressed {
+			fmt.Fprintf(w, "%s:%d: [%s] suppressed: %s (reason: %s)\n",
+				s.File, s.Line, s.Analyzer, s.Message, s.Reason)
+		}
+	}
+	if len(rep.Diagnostics) == 0 {
+		fmt.Fprintf(w, "pdflint: clean (%d suppression(s) on file)\n", len(rep.Suppressed))
+		return
+	}
+	names := make([]string, 0, len(rep.Counts))
+	for n := range rep.Counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "pdflint: %d finding(s):", len(rep.Diagnostics))
+	for _, n := range names {
+		fmt.Fprintf(w, " %s=%d", n, rep.Counts[n])
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteJSON renders the report as indented JSON.
+func (rep *JSONReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

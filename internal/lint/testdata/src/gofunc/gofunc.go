@@ -1,0 +1,78 @@
+// Package gofuncfix is the pdflint fixture for the gofunc analyzer:
+// goroutines in long-lived packages must be cancelable or tracked.
+package gofuncfix
+
+import (
+	"context"
+	"sync"
+)
+
+// Server is a toy daemon-shaped struct.
+type Server struct {
+	wg   sync.WaitGroup
+	ch   chan int
+	done chan struct{}
+}
+
+// BadFireAndForget spawns an untracked, uncancelable goroutine.
+func (s *Server) BadFireAndForget() {
+	go func() { // want `goroutine is neither context-aware nor WaitGroup-tracked`
+		for v := range s.ch {
+			_ = v
+		}
+	}()
+}
+
+// BadNamed spawns a method that nothing can stop or await.
+func (s *Server) BadNamed() {
+	go s.pump() // want `goroutine is neither context-aware nor WaitGroup-tracked`
+}
+
+func (s *Server) pump() {
+	for v := range s.ch {
+		_ = v
+	}
+}
+
+// GoodContextParam takes the context as a parameter.
+func (s *Server) GoodContextParam(ctx context.Context) {
+	go func(ctx context.Context) {
+		<-ctx.Done()
+	}(ctx)
+}
+
+// GoodContextCapture captures a context in the closure.
+func (s *Server) GoodContextCapture(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case v := <-s.ch:
+			_ = v
+		}
+	}()
+}
+
+// GoodWaitGroup tracks the goroutine's lifetime.
+func (s *Server) GoodWaitGroup() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for v := range s.ch {
+			_ = v
+		}
+	}()
+}
+
+// GoodTrackedMethod spawns a method whose body is WaitGroup-tracked,
+// the engine's `go e.worker()` shape.
+func (s *Server) GoodTrackedMethod() {
+	s.wg.Add(1)
+	go s.worker()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for v := range s.ch {
+		_ = v
+	}
+}

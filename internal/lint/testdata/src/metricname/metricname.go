@@ -1,0 +1,33 @@
+// Package metricnamefix is the pdflint fixture for the metricname
+// analyzer: obs registration sites need constant-foldable,
+// grammar-conforming metric and label names.
+package metricnamefix
+
+import "repro/internal/obs"
+
+const prefix = "pdfd_fixture"
+
+// Good registers well-formed constant names (including constant
+// folding across idents and concatenation).
+func Good() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.MustRegister(
+		obs.NewCounterVec(prefix+"_requests_total", "Requests.", "route"),
+		obs.NewHistogram("pdfd_fixture_latency_seconds", "Latency.", obs.DefBuckets),
+		obs.NewGaugeFunc("pdfd_fixture:queue_depth", "Depth.", func() float64 { return 0 }),
+	)
+	return reg
+}
+
+// BadGrammar uses names and labels outside the text-format grammar.
+func BadGrammar() {
+	obs.NewCounterVec("pdfd-fixture-total", "Dashes are invalid.", "route")              // want `metric name "pdfd-fixture-total" does not match the Prometheus grammar`
+	obs.NewHistogram("0starts_with_digit", "Digit start is invalid.", obs.DefBuckets)    // want `metric name "0starts_with_digit" does not match the Prometheus grammar`
+	obs.NewCounterVec("pdfd_fixture_bad_label_total", "Label with colon.", "route:name") // want `label name "route:name" does not match the Prometheus grammar`
+}
+
+// BadDynamic assembles the name at runtime, so the exposition cannot
+// be proven well-formed statically.
+func BadDynamic(kind string) {
+	obs.NewCounterFunc("pdfd_"+kind+"_total", "Dynamic.", func() float64 { return 0 }) // want `metric name must be a constant-foldable string`
+}

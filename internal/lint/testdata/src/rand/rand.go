@@ -1,0 +1,25 @@
+// Package randfix is the pdflint fixture for the rand analyzer: the
+// deterministic packages must not draw from the unseeded global
+// math/rand source.
+package randfix
+
+import "math/rand"
+
+// Bad draws from the process-global source.
+func Bad() int {
+	n := rand.Intn(10)                 // want `unseeded math/rand.Intn`
+	rand.Shuffle(n, func(i, j int) {}) // want `unseeded math/rand.Shuffle`
+	return n + int(rand.Int63())       // want `unseeded math/rand.Int63`
+}
+
+// Good uses an explicitly seeded generator.
+func Good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Suppressed demonstrates //lint:ignore with a recorded reason.
+func Suppressed() float64 {
+	//lint:ignore rand fixture demonstrates suppression
+	return rand.Float64()
+}

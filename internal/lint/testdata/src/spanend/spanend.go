@@ -1,0 +1,53 @@
+// Package spanendfix is the pdflint fixture for the spanend analyzer:
+// every span started with obs.StartSpan must End in its function.
+package spanendfix
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// Job mimics the engine's field-stored span (out of the analyzer's
+// intra-procedural scope).
+type Job struct {
+	root *obs.Span
+}
+
+// BadNeverEnded starts a span and leaks it.
+func BadNeverEnded(ctx context.Context) {
+	ctx, span := obs.StartSpan(ctx, "prepare") // want `span span is never .End\(\)ed in this function`
+	_ = ctx
+	_ = span
+}
+
+// BadDiscarded throws the span away at the call site.
+func BadDiscarded(ctx context.Context) {
+	_, _ = obs.StartSpan(ctx, "generation") // want `span assigned to _: it can never End`
+}
+
+// GoodDefer ends via defer.
+func GoodDefer(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "simulation")
+	defer span.End()
+}
+
+// GoodBranches ends on every path the function owns.
+func GoodBranches(ctx context.Context, fail bool) error {
+	_, span := obs.StartSpan(ctx, "compaction")
+	if fail {
+		span.End(obs.Bool("ok", false))
+		return context.Canceled
+	}
+	span.End(obs.Bool("ok", true))
+	return nil
+}
+
+// GoodField stores the span on a struct; other methods end it, which
+// the trace tests cover end-to-end.
+func GoodField(ctx context.Context, j *Job) {
+	_, j.root = obs.StartSpan(ctx, "job")
+}
+
+// End releases the job's root span.
+func (j *Job) End() { j.root.End() }

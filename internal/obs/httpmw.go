@@ -18,9 +18,11 @@ type HTTPMetrics struct {
 // NewHTTPMetrics builds and registers the HTTP metric families.
 func NewHTTPMetrics(r *Registry, namePrefix string) *HTTPMetrics {
 	m := &HTTPMetrics{
+		//lint:ignore metricname namePrefix is the caller's constant ("pdfd"); MustRegister validates the joined name at registration
 		Requests: NewCounterVec(namePrefix+"_http_requests_total",
 			"HTTP requests served, by route, method and status code.",
 			"route", "method", "code"),
+		//lint:ignore metricname namePrefix is the caller's constant ("pdfd"); MustRegister validates the joined name at registration
 		Duration: NewHistogramVec(namePrefix+"_http_request_duration_seconds",
 			"HTTP request latency by route.", DefBuckets, "route"),
 	}

@@ -41,19 +41,42 @@ func NewRegistry() *Registry {
 
 // MustRegister adds collectors to the registry, panicking on a
 // duplicate family name (two families with one name would produce an
-// invalid exposition).
+// invalid exposition) or a name outside the Prometheus text-format
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]* (pdflint's metricname analyzer
+// proves this statically where names are constants; this is the
+// runtime backstop for names assembled through helpers).
 func (r *Registry) MustRegister(cs ...Collector) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, c := range cs {
 		if n, ok := c.(interface{ familyName() string }); ok {
-			if r.names[n.familyName()] {
-				panic("obs: duplicate metric family " + n.familyName())
+			name := n.familyName()
+			if !validMetricName(name) {
+				panic("obs: metric family name " + strconv.Quote(name) +
+					" does not match the Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]*")
 			}
-			r.names[n.familyName()] = true
+			if r.names[name] {
+				panic("obs: duplicate metric family " + name)
+			}
+			r.names[name] = true
 		}
 		r.fams = append(r.fams, c)
 	}
+}
+
+// validMetricName reports whether name matches the Prometheus
+// text-format metric name grammar.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, ch := range name {
+		letter := (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch == '_' || ch == ':'
+		if !letter && (i == 0 || ch < '0' || ch > '9') {
+			return false
+		}
+	}
+	return true
 }
 
 // WritePrometheus serializes every registered family to w.
@@ -330,6 +353,7 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	if c == nil {
 		c = &vecChild[*Histogram]{
 			values: append([]string(nil), values...),
+			//lint:ignore metricname v.name was validated when the vec itself was registered
 			metric: NewHistogram(v.name, v.help, v.buckets),
 		}
 		v.children[k] = c

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// MustRegister is the runtime backstop behind pdflint's metricname
+// analyzer: names the linter cannot constant-fold (helper-assembled
+// prefixes) must still be grammar-checked before they can corrupt the
+// exposition.
+func TestMustRegisterValidatesMetricNames(t *testing.T) {
+	mustPanic := func(name string, register func(r *Registry)) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("MustRegister accepted invalid family name %q", name)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "grammar") {
+				t.Fatalf("unexpected panic for %q: %v", name, r)
+			}
+		}()
+		register(NewRegistry())
+	}
+
+	mustPanic("pdfd-dashes_total", func(r *Registry) {
+		r.MustRegister(NewCounterFunc("pdfd-dashes_total", "bad", func() float64 { return 0 }))
+	})
+	mustPanic("0leading_digit", func(r *Registry) {
+		r.MustRegister(NewHistogram("0leading_digit", "bad", DefBuckets))
+	})
+	mustPanic("", func(r *Registry) {
+		r.MustRegister(NewGaugeFunc("", "bad", func() float64 { return 0 }))
+	})
+	// The helper-assembled HTTP metric names flow through the same
+	// gate (the case the linter suppressions in httpmw.go cite).
+	mustPanic("bad prefix", func(r *Registry) {
+		NewHTTPMetrics(r, "bad prefix")
+	})
+
+	// Valid names — including colons, allowed by the text format —
+	// register fine.
+	r := NewRegistry()
+	r.MustRegister(
+		NewCounterFunc("pdfd:colons_ok_total", "ok", func() float64 { return 0 }),
+		NewHistogram("pdfd_latency_seconds", "ok", DefBuckets),
+		NewCounterVec("pdfd_requests_total", "ok", "route"),
+	)
+	NewHTTPMetrics(r, "pdfd2")
+}
