@@ -4,7 +4,7 @@ GO ?= go
 # refresh it with `make bench` and commit the new file (see PERF.md).
 BENCH_BASELINE ?= BENCH_2026-08-06.json
 
-.PHONY: build test lint race check chaos obs-smoke bench bench-check go-bench engine-bench
+.PHONY: build test lint race check chaos obs-smoke cluster-smoke bench bench-check go-bench engine-bench
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,8 @@ lint:
 # reasons about.
 race:
 	$(GO) test -race ./internal/engine/... ./internal/faultsim/... \
-		./internal/events/... ./internal/journal/... ./internal/retry/...
+		./internal/events/... ./internal/journal/... ./internal/retry/... \
+		./internal/cluster/...
 
 # The fault-injection suite: panic containment, retry/backoff, crash +
 # journal replay, load shedding — twice under the race detector.
@@ -37,6 +38,12 @@ chaos:
 obs-smoke:
 	$(GO) test -race -count=1 -run 'TestObsSmoke' -v ./internal/cli/
 
+# Cluster smoke: boot two pdfd backends and a pdfd -coordinator over
+# them, batch-submit across the fleet, assert owner affinity and a
+# cache hit on resubmission.
+cluster-smoke:
+	$(GO) test -race -count=1 -run 'TestClusterSmoke' -v ./internal/cli/
+
 # The CI gate: vet + build + full suite under -race + the performance
 # regression gate against the committed baseline.
 check:
@@ -44,6 +51,7 @@ check:
 	$(MAKE) lint
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) cluster-smoke
 	$(MAKE) bench-check
 
 # Run the perfreg suite and write a fresh BENCH_<date>.json snapshot

@@ -1,0 +1,172 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+)
+
+// The cluster smoke test (also run by `make cluster-smoke`): boot two
+// pdfd backends and a pdfd -coordinator over them, fan a batch across
+// the fleet, then prove routing affinity — resubmitting a spec lands
+// on the same backend and hits its result cache.
+func TestClusterSmoke(t *testing.T) {
+	var out0, out1, outC syncBuffer
+	base0, exit0 := startPDFD(t, &out0)
+	base1, exit1 := startPDFD(t, &out1)
+	baseC, exitC := startPDFD(t, &outC,
+		"-coordinator", "-backends", "b0="+base0+",b1="+base1, "-health-interval", "100ms")
+
+	// The coordinator reports both backends healthy.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var hv cluster.HealthView
+		resp, err := http.Get(baseC + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&hv)
+		resp.Body.Close()
+		if err == nil && hv.Healthy == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never fully healthy: %+v\n%s", hv, outC.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Batch submit across the fleet: per-job outcomes, owner affinity.
+	var jobs []string
+	for seed := 1; seed <= 4; seed++ {
+		jobs = append(jobs, fmt.Sprintf(`{"kind":"enrich","circuit":"s27","np0":10,"seed":%d}`, seed))
+	}
+	resp, err := http.Post(baseC+"/v1/jobs:batch", "application/json",
+		strings.NewReader(`{"jobs":[`+strings.Join(jobs, ",")+`]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br cluster.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || br.Accepted != 4 || br.Rejected != 0 {
+		t.Fatalf("batch = %d accepted=%d rejected=%d", resp.StatusCode, br.Accepted, br.Rejected)
+	}
+	waitDone := func(id string) engine.JobView {
+		t.Helper()
+		var v engine.JobView
+		wd := time.Now().Add(60 * time.Second)
+		for !v.Status.Terminal() {
+			resp, err := http.Get(baseC + "/v1/jobs/" + id + "?wait=5s")
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s = %d (%v)", id, resp.StatusCode, err)
+			}
+			if time.Now().After(wd) {
+				t.Fatalf("job %s stuck in %s", id, v.Status)
+			}
+		}
+		if v.Status != engine.StatusDone {
+			t.Fatalf("job %s = %s (%s)", id, v.Status, v.Error)
+		}
+		return v
+	}
+	for _, it := range br.Results {
+		if it.Status != "accepted" || it.Affinity != "owner" || it.Backend != it.Owner {
+			t.Fatalf("batch item %+v, want owner-affine accept", it)
+		}
+		waitDone(it.ID)
+	}
+
+	// Affinity: resubmitting the first spec routes to the same backend
+	// and hits its result cache.
+	resp, err = http.Post(baseC+"/v1/jobs", "application/json", strings.NewReader(jobs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v engine.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Pdfd-Backend"); got != br.Results[0].Backend {
+		t.Fatalf("resubmit routed to %s, first run went to %s", got, br.Results[0].Backend)
+	}
+	if done := waitDone(v.ID); !done.CacheHit {
+		t.Fatal("resubmit did not hit the owning backend's result cache")
+	}
+
+	// One SIGTERM reaches every instance sharing this process: all
+	// three must exit cleanly.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for _, exit := range []chan error{exitC, exit0, exit1} {
+		select {
+		case err := <-exit:
+			if err != nil {
+				t.Fatalf("instance exit: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("instance did not exit on SIGTERM")
+		}
+	}
+	if !strings.Contains(outC.String(), "coordinator stopped") {
+		t.Errorf("coordinator shutdown banner missing:\n%s", outC.String())
+	}
+}
+
+func TestParseBackends(t *testing.T) {
+	got, err := parseBackends("b0=http://h1:1, http://h2:2 ,named=https://h3:3/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []cluster.BackendConf{
+		{Name: "b0", URL: "http://h1:1"},
+		{Name: "b1", URL: "http://h2:2"},
+		{Name: "named", URL: "https://h3:3/"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parseBackends = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := parseBackends("  "); err == nil {
+		t.Error("empty -backends must fail")
+	}
+}
+
+// -coordinator flag validation: missing backends and bad URLs fail
+// fast instead of serving a dead fleet.
+func TestPDFDCoordinatorBadFlags(t *testing.T) {
+	if _, _, err := run(t, func(a []string, o, e *bytes.Buffer) error {
+		return PDFD(a, o, e)
+	}, "-coordinator", "-addr", "127.0.0.1:0"); err == nil {
+		t.Error("coordinator without -backends must fail")
+	}
+	if _, _, err := run(t, func(a []string, o, e *bytes.Buffer) error {
+		return PDFD(a, o, e)
+	}, "-coordinator", "-backends", "b0=not-a-url", "-addr", "127.0.0.1:0"); err == nil {
+		t.Error("coordinator with a bad backend URL must fail")
+	}
+}

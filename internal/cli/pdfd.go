@@ -4,14 +4,17 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/journal"
 	"repro/internal/obs"
@@ -46,11 +49,19 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 		spanLimit  = fs.Int("trace-spans", obs.DefaultSpanLimit, "per-job span timeline cap (0 disables span collection entirely); excess spans are counted, not kept")
 		journalDir = fs.String("journal", "", "directory of the durable job journal; queued and running jobs survive a crash and replay on restart (empty = no journal)")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful shutdown: how long running jobs may finish after a signal")
+
+		coordinator = fs.Bool("coordinator", false, "run as a cluster coordinator fronting -backends instead of a local engine")
+		backendsArg = fs.String("backends", "", "coordinator: comma-separated backends, each name=url or a bare url (auto-named b0, b1, ...)")
+		healthIvl   = fs.Duration("health-interval", 2*time.Second, "coordinator: backend health probe interval")
+		vnodes      = fs.Int("vnodes", cluster.DefaultVNodes, "coordinator: virtual nodes per backend on the hash ring")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	log := obs.NewLogger(stdout, *logFormat, *logLevel)
+	if *coordinator {
+		return runCoordinator(*addr, *debugAddr, *backendsArg, *healthIvl, *vnodes, log)
+	}
 	// The flag speaks operator language (0 = off); the engine uses a
 	// negative limit for "no trace" and 0 for its own default.
 	if *spanLimit == 0 {
@@ -141,6 +152,99 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 		}
 		return nil
 	}
+}
+
+// runCoordinator is pdfd's -coordinator mode: no local engine, just
+// the cluster coordinator routing the /v1 API across -backends by
+// consistent hashing on each job's SpecDigest. It blocks until the
+// listener fails or a SIGINT / SIGTERM arrives; shutdown stops the
+// listener, then the health loops.
+func runCoordinator(addr, debugAddr, backendsArg string, healthIvl time.Duration, vnodes int, log *slog.Logger) error {
+	confs, err := parseBackends(backendsArg)
+	if err != nil {
+		return err
+	}
+	coord, err := cluster.New(cluster.Config{
+		Backends:       confs,
+		VNodes:         vnodes,
+		HealthInterval: healthIvl,
+		Logger:         log,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		coord.Close()
+		return err
+	}
+	log.Info("pdfd listening", "addr", ln.Addr().String(), "mode", "coordinator", "backends", len(confs))
+	srv := &http.Server{Handler: cluster.NewServer(coord)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	var dbgSrv *http.Server
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			srv.Close()
+			coord.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dbgSrv = &http.Server{Handler: debugMux()}
+		log.Info("pprof debug server listening", "addr", dln.Addr().String())
+		go func() {
+			if err := dbgSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				log.Warn("pprof debug server stopped", "err", err)
+			}
+		}()
+		defer dbgSrv.Close()
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	select {
+	case err := <-serveErr:
+		coord.Close()
+		return err
+	case sig := <-sigCh:
+		// The coordinator holds no job state of its own — in-flight
+		// proxied requests finish with the server drain, the backends
+		// keep running.
+		log.Info("shutdown signal, stopping coordinator", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		coord.Close()
+		log.Info("coordinator stopped")
+		return nil
+	}
+}
+
+// parseBackends parses the -backends flag: comma-separated entries,
+// each "name=url" or a bare URL (auto-named b0, b1, ... by position).
+func parseBackends(s string) ([]cluster.BackendConf, error) {
+	var out []cluster.BackendConf
+	for i, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, found := strings.Cut(part, "=")
+		if found && !strings.ContainsAny(name, ":/") {
+			out = append(out, cluster.BackendConf{Name: strings.TrimSpace(name), URL: strings.TrimSpace(url)})
+		} else {
+			// A bare URL (any "=" it carries sits past ":" or "/").
+			out = append(out, cluster.BackendConf{Name: fmt.Sprintf("b%d", i), URL: part})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pdfd: -coordinator needs -backends (name=url or url, comma-separated)")
+	}
+	return out, nil
 }
 
 // debugMux is the pprof surface of -debug-addr. Registered explicitly

@@ -1,0 +1,468 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/retry"
+)
+
+// testBackend is one in-process pdfd node: a real engine behind a real
+// HTTP server, with a switchable shed wrapper so tests can force 503s
+// on submissions without actually filling the queue.
+type testBackend struct {
+	name string
+	e    *engine.Engine
+	srv  *httptest.Server
+	shed atomic.Bool
+}
+
+func newTestBackend(t *testing.T, name string) *testBackend {
+	t.Helper()
+	tb := &testBackend{name: name}
+	tb.e = engine.New(engine.Config{Workers: 2, SimWorkers: 2})
+	h := engine.NewServer(tb.e)
+	tb.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if tb.shed.Load() && r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"error":{"code":"overloaded","message":"test shed","retry_after_ms":1000}}`)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		tb.srv.Close()
+		tb.e.Close()
+	})
+	return tb
+}
+
+// newFleet boots n backends plus a coordinator with test-speed health
+// probes, returning the coordinator, its HTTP server and the backends.
+func newFleet(t *testing.T, n int) (*Coordinator, *httptest.Server, []*testBackend) {
+	t.Helper()
+	backs := make([]*testBackend, n)
+	confs := make([]BackendConf, n)
+	for i := range backs {
+		name := fmt.Sprintf("b%d", i)
+		backs[i] = newTestBackend(t, name)
+		confs[i] = BackendConf{Name: name, URL: backs[i].srv.URL}
+	}
+	c, err := New(Config{
+		Backends:       confs,
+		HealthInterval: 50 * time.Millisecond,
+		HealthTimeout:  500 * time.Millisecond,
+		DownAfter:      2,
+		RetryPolicy:    retry.Policy{MaxRetries: 1, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(c))
+	t.Cleanup(func() {
+		srv.Close()
+		c.Close()
+	})
+	return c, srv, backs
+}
+
+func enrichSpec(seed int64) engine.Spec {
+	return engine.Spec{Kind: engine.KindEnrich, Circuit: "s27", NP0: 10, Seed: seed}
+}
+
+func postSpec(t *testing.T, base string, spec engine.Spec) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// submitVia submits through the coordinator expecting a 202, returning
+// the routed view and the backend that took the job.
+func submitVia(t *testing.T, base string, spec engine.Spec) (engine.JobView, string) {
+	t.Helper()
+	resp, body := postSpec(t, base, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs = %d: %s", resp.StatusCode, body)
+	}
+	var v engine.JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("bad job view: %v\n%s", err, body)
+	}
+	return v, resp.Header.Get("X-Pdfd-Backend")
+}
+
+// waitVia polls the coordinator's proxied GET until the job is
+// terminal.
+func waitVia(t *testing.T, base, id string) engine.JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var v engine.JobView
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "?wait=2s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s = %d: %s", id, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatalf("bad job view: %v\n%s", err, body)
+		}
+		if v.Status.Terminal() {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, v.Status)
+		}
+	}
+}
+
+// Acceptance (a): resubmitting an identical spec routes to the ring
+// owner both times and the second run hits the owner's result cache.
+func TestClusterAffinityAndCacheHit(t *testing.T) {
+	c, srv, _ := newFleet(t, 3)
+	spec := enrichSpec(1)
+	owner := c.Owner(engine.SpecDigest(spec))
+	if owner == "" {
+		t.Fatal("empty ring")
+	}
+
+	v1, backend1 := submitVia(t, srv.URL, spec)
+	if backend1 != owner {
+		t.Fatalf("first submit routed to %s, ring owner is %s", backend1, owner)
+	}
+	done1 := waitVia(t, srv.URL, v1.ID)
+	if done1.Status != engine.StatusDone {
+		t.Fatalf("job 1 = %s (%s)", done1.Status, done1.Error)
+	}
+	if done1.CacheHit {
+		t.Fatal("first run should not be a cache hit")
+	}
+
+	v2, backend2 := submitVia(t, srv.URL, spec)
+	if backend2 != owner {
+		t.Fatalf("resubmit routed to %s, want owner %s", backend2, owner)
+	}
+	done2 := waitVia(t, srv.URL, v2.ID)
+	if done2.Status != engine.StatusDone {
+		t.Fatalf("job 2 = %s (%s)", done2.Status, done2.Error)
+	}
+	if !done2.CacheHit {
+		t.Fatal("resubmit on the owning backend should hit its result cache")
+	}
+}
+
+// Acceptance (b): killing a backend reroutes its ring range — new
+// submissions keep getting accepted (failover during the detection
+// window, ring reassignment after) and every job accepted by a
+// surviving backend stays readable through the coordinator.
+func TestClusterBackendDeathReroutes(t *testing.T) {
+	c, srv, backs := newFleet(t, 3)
+
+	// Spread jobs until every backend owns at least one of them.
+	type placed struct {
+		id    string
+		owner string
+	}
+	var jobs []placed
+	ownersSeen := map[string]bool{}
+	for seed := int64(1); seed <= 12 && len(ownersSeen) < 3; seed++ {
+		spec := enrichSpec(seed)
+		owner := c.Owner(engine.SpecDigest(spec))
+		v, backend := submitVia(t, srv.URL, spec)
+		if backend != owner {
+			t.Fatalf("seed %d routed to %s, owner %s", seed, backend, owner)
+		}
+		ownersSeen[owner] = true
+		jobs = append(jobs, placed{id: v.ID, owner: owner})
+	}
+	if len(ownersSeen) < 3 {
+		t.Fatalf("12 seeds only reached owners %v", ownersSeen)
+	}
+	for _, j := range jobs {
+		waitVia(t, srv.URL, j.id)
+	}
+
+	// Kill b2's server outright: connections now refuse.
+	victim := backs[2]
+	victim.srv.Close()
+
+	// A spec owned by the victim, submitted inside the detection
+	// window, must still be accepted — ring-successor failover.
+	var victimSpec engine.Spec
+	for seed := int64(100); ; seed++ {
+		if s := enrichSpec(seed); c.Owner(engine.SpecDigest(s)) == victim.name {
+			victimSpec = s
+			break
+		}
+	}
+	v, backend := submitVia(t, srv.URL, victimSpec)
+	if backend == victim.name {
+		t.Fatalf("submission routed to the dead backend %s", backend)
+	}
+	if got := waitVia(t, srv.URL, v.ID); got.Status != engine.StatusDone {
+		t.Fatalf("failover job = %s (%s)", got.Status, got.Error)
+	}
+
+	// The health loop marks the victim down and removes it from the
+	// ring; its range moves to the survivors.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Owner(engine.SpecDigest(victimSpec)) == victim.name {
+		if time.Now().After(deadline) {
+			t.Fatal("victim still owns its range after death")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := c.Healthy(); got != 2 {
+		t.Fatalf("Healthy = %d, want 2", got)
+	}
+
+	// Every job accepted by a survivor is still there, terminal and
+	// readable through the coordinator.
+	for _, j := range jobs {
+		if j.owner == victim.name {
+			continue
+		}
+		got := waitVia(t, srv.URL, j.id)
+		if !got.Status.Terminal() {
+			t.Fatalf("survivor job %s no longer terminal: %s", j.id, got.Status)
+		}
+	}
+
+	// Reads against the dead backend answer backend_down, not a hang.
+	for _, j := range jobs {
+		if j.owner != victim.name {
+			continue
+		}
+		resp, err := http.Get(srv.URL + "/v1/jobs/" + j.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadGateway {
+			t.Fatalf("read from dead backend = %d: %s", resp.StatusCode, body)
+		}
+		var env struct {
+			Error engine.APIError `json:"error"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != CodeBackendDown {
+			t.Fatalf("want backend_down envelope, got %s", body)
+		}
+		break
+	}
+}
+
+// Acceptance (c): POST /v1/jobs:batch fans out with per-job outcomes,
+// and a shedding ring owner's jobs spill over to the least-loaded
+// backend instead of failing.
+func TestClusterBatchAndSpillover(t *testing.T) {
+	c, srv, backs := newFleet(t, 3)
+
+	// A batch of valid specs plus one broken entry: per-job results,
+	// not all-or-nothing.
+	var entries []json.RawMessage
+	for seed := int64(1); seed <= 6; seed++ {
+		b, _ := json.Marshal(enrichSpec(seed))
+		entries = append(entries, b)
+	}
+	entries = append(entries, json.RawMessage(`{"kind":"enrich","circuit":"s27","bogus":true}`))
+	body, _ := json.Marshal(BatchRequest{Jobs: entries})
+	resp, err := http.Post(srv.URL+"/v1/jobs:batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch = %d: %s", resp.StatusCode, raw)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(raw, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Accepted != 6 || br.Rejected != 1 || len(br.Results) != 7 {
+		t.Fatalf("accepted=%d rejected=%d results=%d: %s", br.Accepted, br.Rejected, len(br.Results), raw)
+	}
+	for i, it := range br.Results {
+		if it.Index != i {
+			t.Fatalf("result %d carries index %d", i, it.Index)
+		}
+		if i < 6 {
+			if it.Status != "accepted" || it.ID == "" || it.Backend != it.Owner || it.Affinity != "owner" {
+				t.Fatalf("result %d = %+v, want owner-affine accept", i, it)
+			}
+			if got := c.Owner(engine.SpecDigest(enrichSpec(int64(i + 1)))); got != it.Owner {
+				t.Fatalf("result %d owner %s, ring says %s", i, it.Owner, got)
+			}
+		} else if it.Status != "rejected" || it.Error == nil || it.Error.Code != engine.CodeInvalidSpec {
+			t.Fatalf("bogus entry = %+v, want invalid_spec rejection", it)
+		}
+	}
+	for _, it := range br.Results[:6] {
+		waitVia(t, srv.URL, it.ID)
+	}
+
+	// Force one backend to shed submissions while staying healthy on
+	// /v1/healthz: its owned jobs must spill over, not bounce.
+	shedder := backs[0]
+	shedder.shed.Store(true)
+	var spec engine.Spec
+	for seed := int64(200); ; seed++ {
+		if s := enrichSpec(seed); c.Owner(engine.SpecDigest(s)) == shedder.name {
+			spec = s
+			break
+		}
+	}
+	sresp, sbody := postSpec(t, srv.URL, spec)
+	if sresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("spillover submit = %d: %s", sresp.StatusCode, sbody)
+	}
+	if got := sresp.Header.Get("X-Pdfd-Affinity"); got != "spillover" {
+		t.Fatalf("affinity = %q, want spillover", got)
+	}
+	if got := sresp.Header.Get("X-Pdfd-Backend"); got == shedder.name || got == "" {
+		t.Fatalf("spillover landed on %q", got)
+	}
+	var sv engine.JobView
+	if err := json.Unmarshal(sbody, &sv); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitVia(t, srv.URL, sv.ID); got.Status != engine.StatusDone {
+		t.Fatalf("spilled job = %s (%s)", got.Status, got.Error)
+	}
+	if c.MetricsSnapshot().Spillovers == 0 {
+		t.Fatal("spillover counter did not move")
+	}
+
+	// With every backend shedding, the owner's 503 envelope is relayed
+	// (engine code "overloaded", Retry-After intact) — the cluster adds
+	// no failure mode of its own.
+	for _, tb := range backs {
+		tb.shed.Store(true)
+	}
+	fresp, fbody := postSpec(t, srv.URL, spec)
+	if fresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("all-shed submit = %d: %s", fresp.StatusCode, fbody)
+	}
+	var env struct {
+		Error engine.APIError `json:"error"`
+	}
+	if err := json.Unmarshal(fbody, &env); err != nil || env.Error.Code != engine.CodeOverloaded {
+		t.Fatalf("want relayed overloaded envelope, got %s", fbody)
+	}
+	if fresp.Header.Get("Retry-After") == "" {
+		t.Fatal("relayed 503 lost its Retry-After header")
+	}
+}
+
+// The coordinator's own healthz: fleet summary with per-backend load,
+// 503 no_backend once nothing is healthy.
+func TestClusterHealthz(t *testing.T) {
+	c, srv, backs := newFleet(t, 2)
+	var hv HealthView
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &hv); err != nil {
+		t.Fatal(err)
+	}
+	if hv.Status != "ok" || hv.Healthy != 2 || len(hv.Backends) != 2 {
+		t.Fatalf("healthz body = %s", body)
+	}
+	if _, ok := hv.Backends["b0"]; !ok {
+		t.Fatalf("healthz body lacks b0: %s", body)
+	}
+
+	for _, tb := range backs {
+		tb.srv.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Healthy() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("backends never marked down")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, err = http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("dead-fleet healthz = %d: %s", resp.StatusCode, body)
+	}
+	var hv2 HealthView
+	if err := json.Unmarshal(body, &hv2); err != nil || hv2.Status != CodeNoBackend {
+		t.Fatalf("dead-fleet healthz body = %s", body)
+	}
+
+	// Submissions now fail fast with no_backend.
+	resp2, body2 := postSpec(t, srv.URL, enrichSpec(1))
+	var env struct {
+		Error engine.APIError `json:"error"`
+	}
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("dead-fleet submit = %d: %s", resp2.StatusCode, body2)
+	}
+	if err := json.Unmarshal(body2, &env); err != nil || env.Error.Code != CodeNoBackend {
+		t.Fatalf("want no_backend envelope, got %s", body2)
+	}
+}
+
+// The Prometheus exposition carries the cluster families with
+// per-backend labels.
+func TestClusterMetricsExposition(t *testing.T) {
+	_, srv, _ := newFleet(t, 2)
+	v, _ := submitVia(t, srv.URL, enrichSpec(1))
+	waitVia(t, srv.URL, v.ID)
+
+	resp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"pdfd_cluster_jobs_routed_total{",
+		"pdfd_cluster_backend_up{backend=\"b0\"}",
+		"pdfd_cluster_backends_healthy 2",
+		"pdfd_cluster_proxy_request_duration_seconds_bucket",
+		"pdfd_coordinator_http_requests_total{",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+}

@@ -1,0 +1,531 @@
+// Package cluster turns N pdfd backends into one service: a
+// coordinator fronts the fleet over the existing /v1 API, routing each
+// job by consistent hashing on its engine.SpecDigest so resubmitting
+// an identical (circuit, config, fault-set) spec lands on the backend
+// that already holds the cached result.
+//
+// The subsystem is built from four pieces:
+//
+//   - a consistent-hash ring with virtual nodes (Ring): deterministic
+//     placement, ~1/N of the key space moves per membership change;
+//   - per-backend health checking against /v1/healthz: an overloaded
+//     or draining backend stops receiving new jobs but keeps serving
+//     status/trace/SSE reads; a backend that fails consecutive probes
+//     is removed from the ring until it answers again;
+//   - an HTTP client per backend with request timeouts, transient-error
+//     retry (internal/retry) and a circuit breaker, plus least-loaded
+//     spillover when the ring owner sheds a submission (503);
+//   - cluster observability through internal/obs: per-backend
+//     health/load gauges, routing and spillover counters, and proxied
+//     request histograms, all on the coordinator's /v1/metrics.
+//
+// Job IDs become routable: the coordinator returns "{backend}/{id}"
+// and proxies GET /v1/jobs/{backend}/{id} (and /trace, /events SSE)
+// to the owning backend. POST /v1/jobs:batch fans a job list across
+// the fleet and reports per-job accept/shed outcomes. See server.go
+// for the HTTP surface and API.md for the contract.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/retry"
+)
+
+// Error codes the coordinator adds to the /v1 error envelope, beside
+// the engine codes it relays verbatim (overloaded, not_found,
+// invalid_spec, engine_closed).
+const (
+	// CodeNoBackend: no healthy backend is available to take the job
+	// (all down, draining, or circuit-broken). Retryable.
+	CodeNoBackend = "no_backend"
+	// CodeBackendDown: the backend owning the requested job (or every
+	// routing candidate for a submission) did not answer.
+	CodeBackendDown = "backend_down"
+)
+
+// maxProxyBody bounds a proxied response body read (job views carry
+// test sets and span timelines, so the cap is generous).
+const maxProxyBody = 64 << 20
+
+// BackendConf names one pdfd backend for Config.
+type BackendConf struct {
+	// Name is the backend's stable identity: the ring hashes it, job
+	// IDs are prefixed with it ("b0/j17"), and metrics label by it.
+	// It must not contain "/" (the job-ID separator).
+	Name string
+	// URL is the backend's base URL ("http://10.0.0.5:8344").
+	URL string
+}
+
+// Config sizes the coordinator.
+type Config struct {
+	// Backends is the fixed fleet. Membership health is dynamic (the
+	// ring follows probe results) but the configured set is not.
+	Backends []BackendConf
+	// VNodes is the virtual-node count per backend on the hash ring;
+	// 0 uses DefaultVNodes.
+	VNodes int
+
+	// HealthInterval paces the per-backend /v1/healthz probes; 0 uses
+	// 2s. HealthTimeout bounds one probe; 0 uses half the interval
+	// (capped at 1s).
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	// DownAfter is the consecutive probe failures before a backend is
+	// marked down and removed from the ring; 0 uses 3.
+	DownAfter int
+
+	// RequestTimeout bounds one proxied (non-SSE) backend request;
+	// 0 uses 30s.
+	RequestTimeout time.Duration
+	// RetryPolicy shapes the transient-error retries of a forwarded
+	// submission (connection refused, request timeout — never an HTTP
+	// response). Zero fields use 2 retries, 50ms base, 2s cap.
+	RetryPolicy retry.Policy
+	// BreakerThreshold consecutive request failures open a backend's
+	// circuit breaker for BreakerCooldown; 0 uses 3 and 5s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// Logger receives routing and health-transition records; nil
+	// discards them.
+	Logger *slog.Logger
+	// Registry receives the cluster metric families; nil builds a
+	// fresh registry (with the Go runtime collectors).
+	Registry *obs.Registry
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = min(cfg.HealthInterval/2, time.Second)
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 3
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.RetryPolicy.MaxRetries <= 0 {
+		cfg.RetryPolicy.MaxRetries = 2
+	}
+	if cfg.RetryPolicy.BaseDelay <= 0 {
+		cfg.RetryPolicy.BaseDelay = 50 * time.Millisecond
+	}
+	if cfg.RetryPolicy.MaxDelay <= 0 {
+		cfg.RetryPolicy.MaxDelay = 2 * time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	return cfg
+}
+
+// Coordinator fronts a pdfd fleet. Create with New, release with
+// Close (which stops the health loops and idles the connections; the
+// backends themselves are not touched).
+type Coordinator struct {
+	cfg         Config
+	log         *slog.Logger
+	registry    *obs.Registry
+	httpMetrics *obs.HTTPMetrics
+	metrics     *metrics
+	client      *http.Client
+
+	// backends is immutable after New; per-backend state lives in the
+	// *backend values themselves.
+	backends map[string]*backend
+	order    []string // configured order, for stable iteration
+
+	mu   sync.Mutex // guards ring
+	ring *Ring
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New validates cfg, builds the ring with every backend initially
+// healthy, and starts one health-probe goroutine per backend.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: no backends configured")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+		obs.RegisterGoRuntime(reg)
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:      cfg,
+		log:      log,
+		registry: reg,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 32,
+		}},
+		backends: make(map[string]*backend, len(cfg.Backends)),
+		ring:     NewRing(cfg.VNodes),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	c.metrics = newClusterMetrics(reg, c)
+	c.httpMetrics = obs.NewHTTPMetrics(reg, "pdfd_coordinator")
+	for _, bc := range cfg.Backends {
+		if bc.Name == "" || strings.ContainsAny(bc.Name, "/ \t\n") {
+			cancel()
+			return nil, fmt.Errorf("cluster: bad backend name %q (must be non-empty, no slash or whitespace)", bc.Name)
+		}
+		if _, dup := c.backends[bc.Name]; dup {
+			cancel()
+			return nil, fmt.Errorf("cluster: duplicate backend name %q", bc.Name)
+		}
+		u, err := url.Parse(bc.URL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			cancel()
+			return nil, fmt.Errorf("cluster: bad backend URL %q (need http(s)://host[:port])", bc.URL)
+		}
+		b := newBackend(bc.Name, strings.TrimSuffix(bc.URL, "/"), cfg.BreakerThreshold, cfg.BreakerCooldown)
+		c.backends[bc.Name] = b
+		c.order = append(c.order, bc.Name)
+		c.ring.Add(bc.Name)
+		c.metrics.setBackendGauges(b)
+	}
+	for _, name := range c.order {
+		c.wg.Add(1)
+		go c.healthLoop(c.backends[name])
+	}
+	c.log.Info("cluster coordinator up", "backends", len(c.order), "vnodes", cfg.VNodes)
+	return c, nil
+}
+
+// Registry returns the coordinator's metric registry, served on
+// /v1/metrics by the cluster server.
+func (c *Coordinator) Registry() *obs.Registry { return c.registry }
+
+// Close stops the health loops and releases idle connections. In
+// flight proxied requests are canceled.
+func (c *Coordinator) Close() {
+	c.cancel()
+	c.wg.Wait()
+	c.client.CloseIdleConnections()
+}
+
+// Owner returns the backend name currently owning routing key digest
+// (an engine.SpecDigest), or "" when every backend is down.
+func (c *Coordinator) Owner(digest string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Owner(digest)
+}
+
+// ownerChain snapshots the routing preference list for digest.
+func (c *Coordinator) ownerChain(digest string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Owners(digest, c.ring.Len())
+}
+
+// RoutedError is a routing failure the coordinator itself produced
+// (as opposed to an envelope relayed from a backend).
+type RoutedError struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *RoutedError) Error() string { return "cluster: " + e.Code + ": " + e.Message }
+
+// Route records where a submission landed and why.
+type Route struct {
+	// Backend is the node that accepted the job; Owner is the ring
+	// owner of its digest (they differ on failover and spillover).
+	Backend string `json:"backend"`
+	Owner   string `json:"owner,omitempty"`
+	// Affinity is "owner" (ring owner took it), "failover" (owner
+	// unavailable, next ring successor took it) or "spillover" (owner
+	// shed with 503, least-loaded backend took it).
+	Affinity string `json:"affinity"`
+}
+
+// SubmitResult is a routed submission outcome: an accepted JobView
+// with its rewritten "{backend}/{id}" ID, or the backend's error
+// envelope to relay verbatim.
+type SubmitResult struct {
+	// Status is the HTTP status to relay (202 when View is set).
+	Status int
+	// View is the accepted job, ID rewritten; nil when the backend
+	// answered with an error envelope.
+	View *engine.JobView
+	// Body is the backend's raw envelope body when View is nil.
+	Body []byte
+	// RetryAfter relays the backend's Retry-After header, if any.
+	RetryAfter string
+	// Route tells where the job went (zero when View is nil and the
+	// error is not a shed).
+	Route Route
+}
+
+// Submit routes one spec across the fleet: ring owner first, healthy
+// ring successors on owner unavailability, least-loaded spillover when
+// the owner sheds. It returns a *RoutedError when no backend could
+// take the job at all (no_backend / backend_down); backend-produced
+// envelopes (invalid_spec, overloaded after a failed spillover) come
+// back as a SubmitResult to relay.
+func (c *Coordinator) Submit(ctx context.Context, spec engine.Spec) (SubmitResult, error) {
+	digest := engine.SpecDigest(spec)
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return SubmitResult{}, &RoutedError{Status: http.StatusBadRequest, Code: "invalid_spec", Message: err.Error()}
+	}
+	chain := c.ownerChain(digest)
+	if len(chain) == 0 {
+		return SubmitResult{}, &RoutedError{
+			Status: http.StatusServiceUnavailable, Code: CodeNoBackend,
+			Message: "no backend on the ring (all down)", RetryAfter: time.Second,
+		}
+	}
+	owner := chain[0]
+	tried := 0
+	for _, name := range chain {
+		b := c.backends[name]
+		if b.State() != StateHealthy || !b.brk.allow(time.Now()) {
+			continue
+		}
+		tried++
+		res, err := c.forwardSubmit(ctx, b, body)
+		if err != nil {
+			c.log.Warn("submit forward failed", "backend", b.name, "error", err.Error())
+			continue // next ring successor
+		}
+		affinity := "owner"
+		if name != owner {
+			affinity = "failover"
+		}
+		if res.Status == http.StatusServiceUnavailable {
+			// The chosen backend shed the job: least-loaded spillover.
+			c.metrics.sheds.With(b.name).Inc()
+			if spill := c.spillTarget(b.name); spill != nil {
+				sres, serr := c.forwardSubmit(ctx, spill, body)
+				if serr == nil && sres.Status == http.StatusAccepted {
+					c.metrics.spillovers.Add(1)
+					return c.accepted(sres, Route{Backend: spill.name, Owner: owner, Affinity: "spillover"})
+				}
+			}
+			// No spill target (or it shed too): relay the 503 envelope.
+			res.Route = Route{Backend: b.name, Owner: owner, Affinity: affinity}
+			return res, nil
+		}
+		if res.Status == http.StatusAccepted {
+			return c.accepted(res, Route{Backend: b.name, Owner: owner, Affinity: affinity})
+		}
+		// Any other backend answer (invalid_spec, engine_closed):
+		// relay verbatim, no retry elsewhere — the spec would fail
+		// identically.
+		res.Route = Route{Backend: b.name, Owner: owner, Affinity: affinity}
+		return res, nil
+	}
+	if tried > 0 {
+		return SubmitResult{}, &RoutedError{
+			Status: http.StatusBadGateway, Code: CodeBackendDown,
+			Message: fmt.Sprintf("every routing candidate for %s failed", digest[:16]), RetryAfter: time.Second,
+		}
+	}
+	return SubmitResult{}, &RoutedError{
+		Status: http.StatusServiceUnavailable, Code: CodeNoBackend,
+		Message: "no healthy backend (all draining, down or circuit-broken)", RetryAfter: time.Second,
+	}
+}
+
+// accepted decodes and rewrites an accepted submission.
+func (c *Coordinator) accepted(res SubmitResult, route Route) (SubmitResult, error) {
+	var v engine.JobView
+	if err := json.Unmarshal(res.Body, &v); err != nil {
+		return SubmitResult{}, &RoutedError{
+			Status: http.StatusBadGateway, Code: CodeBackendDown,
+			Message: "backend " + route.Backend + " returned an unreadable job view: " + err.Error(),
+		}
+	}
+	v.ID = route.Backend + "/" + v.ID
+	c.metrics.routed.With(route.Backend, route.Affinity).Inc()
+	res.View = &v
+	res.Body = nil
+	res.Route = route
+	return res, nil
+}
+
+// spillTarget picks the least-loaded healthy backend other than
+// exclude (ties broken by name for determinism), or nil.
+func (c *Coordinator) spillTarget(exclude string) *backend {
+	var best *backend
+	now := time.Now()
+	for _, name := range c.order {
+		b := c.backends[name]
+		if name == exclude || b.State() != StateHealthy || !b.brk.allow(now) {
+			continue
+		}
+		if best == nil || b.load() < best.load() {
+			best = b
+		}
+	}
+	return best
+}
+
+// forwardSubmit POSTs the spec to one backend, retrying transient
+// transport errors under the configured policy. An HTTP response of
+// any status is a success at this layer.
+func (c *Coordinator) forwardSubmit(ctx context.Context, b *backend, body []byte) (SubmitResult, error) {
+	var res SubmitResult
+	err := retry.Do(ctx, c.cfg.RetryPolicy, nil, nil, func(attempt int) error {
+		status, respBody, hdr, err := c.do(ctx, b, http.MethodPost, "/v1/jobs", "jobs.submit", body, nil)
+		if err != nil {
+			return err
+		}
+		res = SubmitResult{Status: status, Body: respBody, RetryAfter: hdr.Get("Retry-After")}
+		return nil
+	})
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	return res, nil
+}
+
+// do performs one proxied request against b under the request timeout,
+// maintaining the breaker, the per-backend inflight gauge and the
+// proxy latency histogram. A transport failure (no HTTP response)
+// returns an error that never matches context.DeadlineExceeded, so
+// retry.Do treats a per-request timeout as retryable while a caller
+// cancellation still aborts the retry loop.
+func (c *Coordinator) do(ctx context.Context, b *backend, method, path, route string, body []byte, hdr http.Header) (int, []byte, http.Header, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, b.baseURL+path, rd)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	b.proxied.Add(1)
+	c.metrics.proxyInflight.With(b.name).Set(float64(b.proxied.Load()))
+	start := time.Now()
+	resp, err := c.client.Do(req)
+	b.proxied.Add(-1)
+	c.metrics.proxyInflight.With(b.name).Set(float64(b.proxied.Load()))
+	c.metrics.proxySeconds.With(route).Observe(time.Since(start).Seconds())
+	if err != nil {
+		c.noteFailure(b)
+		if rctx.Err() != nil && ctx.Err() == nil {
+			// Per-request timeout, not a caller cancellation: surface it
+			// without the context sentinel so retry.Do retries it.
+			return 0, nil, nil, fmt.Errorf("cluster: %s %s on %s timed out after %v", method, path, b.name, c.cfg.RequestTimeout)
+		}
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		c.noteFailure(b)
+		return 0, nil, nil, err
+	}
+	b.brk.success()
+	return resp.StatusCode, respBody, resp.Header, nil
+}
+
+// noteFailure records one transport failure against b's breaker and
+// error counter.
+func (c *Coordinator) noteFailure(b *backend) {
+	c.metrics.backendErrors.With(b.name).Inc()
+	if b.brk.failure(time.Now()) {
+		c.metrics.breakerOpens.With(b.name).Inc()
+		c.log.Warn("circuit breaker opened", "backend", b.name, "cooldown", c.cfg.BreakerCooldown.String())
+	}
+}
+
+// BackendStatus is one backend's externally visible state (healthz
+// and metrics.json payloads).
+type BackendStatus struct {
+	URL           string `json:"url"`
+	State         State  `json:"state"`
+	QueueDepth    int    `json:"queue_depth"`
+	Inflight      int    `json:"inflight"`
+	ProxyInflight int64  `json:"proxy_inflight"`
+}
+
+// Backends snapshots every configured backend's status, keyed by name.
+func (c *Coordinator) Backends() map[string]BackendStatus {
+	out := make(map[string]BackendStatus, len(c.backends))
+	for name, b := range c.backends {
+		out[name] = BackendStatus{
+			URL:           b.baseURL,
+			State:         b.State(),
+			QueueDepth:    int(b.queueDepth.Load()),
+			Inflight:      int(b.inflight.Load()),
+			ProxyInflight: b.proxied.Load(),
+		}
+	}
+	return out
+}
+
+// Healthy returns the number of backends currently in StateHealthy.
+func (c *Coordinator) Healthy() int {
+	n := 0
+	for _, b := range c.backends {
+		if b.State() == StateHealthy {
+			n++
+		}
+	}
+	return n
+}
+
+// backendFor resolves a backend by name (the prefix of a routable
+// "{backend}/{id}" job ID).
+func (c *Coordinator) backendFor(name string) (*backend, bool) {
+	b, ok := c.backends[name]
+	return b, ok
+}
+
+// sortedNames returns the configured backend names sorted, for stable
+// log and error output.
+func (c *Coordinator) sortedNames() []string {
+	out := append([]string(nil), c.order...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// healthLoop probes one backend every HealthInterval until the
+// coordinator closes. Each backend has exactly one health goroutine;
+// it is the sole writer of that backend's state, load snapshot and
+// ring membership.
+func (c *Coordinator) healthLoop(b *backend) {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		c.probe(b)
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// probe performs one /v1/healthz round trip and applies the state
+// transition:
+//
+//	200 ok                      -> healthy (on the ring, takes jobs)
+//	503 overloaded/draining     -> draining (on the ring, reads only)
+//	error or other status xDownAfter -> down (off the ring)
+//
+// A single failed probe does not change state — transient blips must
+// not reshuffle the ring.
+func (c *Coordinator) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(c.ctx, c.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.baseURL+"/v1/healthz", nil)
+	if err != nil {
+		c.probeFailed(b)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.probeFailed(b)
+		return
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var h engine.Health
+	parseOK := json.Unmarshal(body, &h) == nil
+	if parseOK {
+		b.queueDepth.Store(int64(h.QueueDepth))
+		b.inflight.Store(int64(h.Inflight))
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK && parseOK:
+		b.consecFails = 0
+		c.setState(b, StateHealthy)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		// The backend is alive but shedding (watermark tripped or a
+		// graceful drain): keep it on the ring for reads, stop routing
+		// new jobs to it.
+		b.consecFails = 0
+		c.setState(b, StateDraining)
+	default:
+		c.probeFailed(b)
+	}
+}
+
+// probeFailed counts one failed probe, demoting the backend to down
+// at the DownAfter threshold.
+func (c *Coordinator) probeFailed(b *backend) {
+	b.consecFails++
+	if b.consecFails >= c.cfg.DownAfter {
+		c.setState(b, StateDown)
+	} else {
+		c.setState(b, b.State()) // refresh gauges, no transition
+	}
+}
+
+// setState applies next to b: records the transition, keeps the ring
+// membership in line (down backends leave the ring, their arcs move to
+// the ring successors; recovered backends reclaim exactly their old
+// arcs), and refreshes the per-backend gauges.
+func (c *Coordinator) setState(b *backend, next State) {
+	prev := b.State()
+	if prev != next {
+		b.state.Store(next)
+		c.metrics.healthTransitions.With(b.name, string(next)).Inc()
+		if next == StateHealthy {
+			c.log.Info("backend state changed", "backend", b.name, "from", string(prev), "to", string(next))
+		} else {
+			c.log.Warn("backend state changed", "backend", b.name, "from", string(prev), "to", string(next))
+		}
+	}
+	c.mu.Lock()
+	if next == StateDown {
+		c.ring.Remove(b.name)
+	} else {
+		c.ring.Add(b.name)
+	}
+	c.mu.Unlock()
+	c.metrics.setBackendGauges(b)
+}

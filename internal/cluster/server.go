@@ -1,0 +1,426 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// Batch limits: a batch is a convenience fan-out, not a bulk loader.
+const (
+	maxBatchJobs     = 256
+	batchConcurrency = 8
+)
+
+// BatchRequest is the POST /v1/jobs:batch body: an ordered list of job
+// specs, each routed independently.
+type BatchRequest struct {
+	Jobs []json.RawMessage `json:"jobs"`
+}
+
+// BatchItem is one job's outcome inside a BatchResponse, at the same
+// index as its spec in the request.
+type BatchItem struct {
+	Index int `json:"index"`
+	// Status is "accepted" or "rejected".
+	Status string `json:"status"`
+	// ID is the routable "{backend}/{id}" job ID (accepted jobs only).
+	ID string `json:"id,omitempty"`
+	// Backend took the job; Owner is the ring owner of its digest;
+	// Affinity is owner, failover or spillover (see Route).
+	Backend  string `json:"backend,omitempty"`
+	Owner    string `json:"owner,omitempty"`
+	Affinity string `json:"affinity,omitempty"`
+	// Error carries the /v1 error envelope body for rejected jobs.
+	Error *engine.APIError `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /v1/jobs:batch response. The HTTP status
+// is 200 whenever the batch itself parsed; per-job failures live in
+// Results.
+type BatchResponse struct {
+	Results  []BatchItem `json:"results"`
+	Accepted int         `json:"accepted"`
+	Rejected int         `json:"rejected"`
+}
+
+// HealthView is the coordinator's GET /v1/healthz body: fleet summary
+// plus per-backend detail. Status is "ok" with at least one healthy
+// backend, else "no_backend" beside a 503.
+type HealthView struct {
+	Status   string                   `json:"status"`
+	Healthy  int                      `json:"healthy"`
+	Backends map[string]BackendStatus `json:"backends"`
+}
+
+// NewServer returns the coordinator's HTTP handler — the same /v1
+// surface shape as a single pdfd backend, fleet-routed:
+//
+//	POST   /v1/jobs                         route one job by SpecDigest → 202 JobView
+//	POST   /v1/jobs:batch                   route a job list, per-job outcomes → 200 BatchResponse
+//	GET    /v1/jobs/{backend}/{id}          proxied job snapshot (?wait= passes through)
+//	DELETE /v1/jobs/{backend}/{id}          proxied cancel
+//	GET    /v1/jobs/{backend}/{id}/trace    proxied span timeline
+//	GET    /v1/jobs/{backend}/{id}/events   proxied SSE stream (Last-Event-ID passes through)
+//	GET    /v1/healthz                      fleet summary; 503 "no_backend" with zero healthy backends
+//	GET    /v1/metrics                      Prometheus text format (cluster + coordinator HTTP families)
+//	GET    /v1/metrics.json                 cluster Snapshot as JSON
+//
+// Job IDs returned by the coordinator are "{backend}/{id}" and feed
+// straight back into the GET/DELETE routes. Errors use the engine's
+// envelope with two added codes: no_backend and backend_down.
+func NewServer(c *Coordinator) http.Handler {
+	s := &clusterServer{c: c}
+	mux := http.NewServeMux()
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, obs.Middleware(name, c.cfg.Logger, c.httpMetrics, h))
+	}
+	route("POST /v1/jobs", "jobs.submit", s.submit)
+	route("POST /v1/jobs:batch", "jobs.batch", s.batch)
+	route("GET /v1/jobs/{backend}/{id}", "jobs.get", s.proxyGet)
+	route("DELETE /v1/jobs/{backend}/{id}", "jobs.cancel", s.proxyCancel)
+	route("GET /v1/jobs/{backend}/{id}/trace", "jobs.trace", s.proxyTrace)
+	route("GET /v1/jobs/{backend}/{id}/events", "jobs.events", s.proxyEvents)
+	route("GET /v1/healthz", "healthz", s.healthz)
+	route("GET /v1/metrics", "metrics", s.metricsProm)
+	route("GET /v1/metrics.json", "metrics.json", s.metricsJSON)
+	return mux
+}
+
+type clusterServer struct {
+	c *Coordinator
+}
+
+func (s *clusterServer) submit(w http.ResponseWriter, r *http.Request) {
+	var spec engine.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, engine.CodeInvalidSpec, "bad job spec: "+err.Error(), 0)
+		return
+	}
+	res, err := s.c.Submit(r.Context(), spec)
+	if err != nil {
+		writeRouted(w, err)
+		return
+	}
+	if res.View != nil {
+		w.Header().Set("X-Pdfd-Backend", res.Route.Backend)
+		w.Header().Set("X-Pdfd-Affinity", res.Route.Affinity)
+		writeJSON(w, http.StatusAccepted, res.View)
+		return
+	}
+	relayEnvelope(w, res)
+}
+
+func (s *clusterServer) batch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, engine.CodeInvalidSpec, "bad batch: "+err.Error(), 0)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, engine.CodeInvalidSpec, "empty batch", 0)
+		return
+	}
+	if len(req.Jobs) > maxBatchJobs {
+		writeError(w, http.StatusBadRequest, engine.CodeInvalidSpec,
+			"batch of "+strconv.Itoa(len(req.Jobs))+" jobs exceeds the limit of "+strconv.Itoa(maxBatchJobs), 0)
+		return
+	}
+	s.c.metrics.batches.Add(1)
+	s.c.metrics.batchJobs.Add(int64(len(req.Jobs)))
+
+	results := make([]BatchItem, len(req.Jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, batchConcurrency)
+	for i, raw := range req.Jobs {
+		var spec engine.Spec
+		d := json.NewDecoder(bytes.NewReader(raw))
+		d.DisallowUnknownFields()
+		if err := d.Decode(&spec); err != nil {
+			results[i] = BatchItem{Index: i, Status: "rejected",
+				Error: &engine.APIError{Code: engine.CodeInvalidSpec, Message: "bad job spec: " + err.Error()}}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, spec engine.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = s.submitOne(r, i, spec)
+		}(i, spec)
+	}
+	wg.Wait()
+
+	resp := BatchResponse{Results: results}
+	for _, it := range results {
+		if it.Status == "accepted" {
+			resp.Accepted++
+		} else {
+			resp.Rejected++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// submitOne routes one batch entry, folding every failure mode into
+// the per-item envelope.
+func (s *clusterServer) submitOne(r *http.Request, i int, spec engine.Spec) BatchItem {
+	res, err := s.c.Submit(r.Context(), spec)
+	if err != nil {
+		var re *RoutedError
+		if errors.As(err, &re) {
+			return BatchItem{Index: i, Status: "rejected",
+				Error: &engine.APIError{Code: re.Code, Message: re.Message, RetryAfterMS: re.RetryAfter.Milliseconds()}}
+		}
+		return BatchItem{Index: i, Status: "rejected",
+			Error: &engine.APIError{Code: CodeBackendDown, Message: err.Error()}}
+	}
+	if res.View != nil {
+		return BatchItem{Index: i, Status: "accepted", ID: res.View.ID,
+			Backend: res.Route.Backend, Owner: res.Route.Owner, Affinity: res.Route.Affinity}
+	}
+	item := BatchItem{Index: i, Status: "rejected",
+		Backend: res.Route.Backend, Owner: res.Route.Owner, Affinity: res.Route.Affinity}
+	var env struct {
+		Error engine.APIError `json:"error"`
+	}
+	if json.Unmarshal(res.Body, &env) == nil && env.Error.Code != "" {
+		item.Error = &env.Error
+	} else {
+		item.Error = &engine.APIError{Code: CodeBackendDown,
+			Message: "backend " + res.Route.Backend + " returned an unreadable error (status " + strconv.Itoa(res.Status) + ")"}
+	}
+	return item
+}
+
+// resolve maps the {backend}/{id} path values to the backend and its
+// local job ID, answering 404 itself when the backend name is unknown.
+func (s *clusterServer) resolve(w http.ResponseWriter, r *http.Request) (*backend, string, bool) {
+	name := r.PathValue("backend")
+	b, ok := s.c.backendFor(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, engine.CodeNotFound, "unknown backend "+strconv.Quote(name), 0)
+		return nil, "", false
+	}
+	return b, r.PathValue("id"), true
+}
+
+// proxyGet relays GET /v1/jobs/{id} from the owning backend, rewriting
+// the job ID to its routable form. Query parameters (?wait=) pass
+// through. Down backends are still attempted — they may be back before
+// the next health probe — and fail with backend_down if not.
+func (s *clusterServer) proxyGet(w http.ResponseWriter, r *http.Request) {
+	b, id, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	path := "/v1/jobs/" + id
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	status, body, hdr, err := s.c.do(r.Context(), b, http.MethodGet, path, "jobs.get", nil, nil)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+": "+err.Error(), 0)
+		return
+	}
+	if status != http.StatusOK {
+		relayEnvelope(w, SubmitResult{Status: status, Body: body, RetryAfter: hdr.Get("Retry-After")})
+		return
+	}
+	var v engine.JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+" returned an unreadable job view", 0)
+		return
+	}
+	v.ID = b.name + "/" + v.ID
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *clusterServer) proxyCancel(w http.ResponseWriter, r *http.Request) {
+	b, id, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	status, body, hdr, err := s.c.do(r.Context(), b, http.MethodDelete, "/v1/jobs/"+id, "jobs.cancel", nil, nil)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+": "+err.Error(), 0)
+		return
+	}
+	if status != http.StatusOK {
+		relayEnvelope(w, SubmitResult{Status: status, Body: body, RetryAfter: hdr.Get("Retry-After")})
+		return
+	}
+	var out struct {
+		ID       string `json:"id"`
+		Canceled bool   `json:"canceled"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+" returned an unreadable cancel result", 0)
+		return
+	}
+	out.ID = b.name + "/" + out.ID
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *clusterServer) proxyTrace(w http.ResponseWriter, r *http.Request) {
+	b, id, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	status, body, hdr, err := s.c.do(r.Context(), b, http.MethodGet, "/v1/jobs/"+id+"/trace", "jobs.trace", nil, nil)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+": "+err.Error(), 0)
+		return
+	}
+	if status != http.StatusOK {
+		relayEnvelope(w, SubmitResult{Status: status, Body: body, RetryAfter: hdr.Get("Retry-After")})
+		return
+	}
+	var out struct {
+		JobID string          `json:"job_id"`
+		Trace json.RawMessage `json:"trace"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+" returned an unreadable trace", 0)
+		return
+	}
+	out.JobID = b.name + "/" + out.JobID
+	writeJSON(w, http.StatusOK, out)
+}
+
+// proxyEvents streams the backend's SSE feed through to the client,
+// byte for byte, flushing per chunk. The standard Last-Event-ID header
+// (and the ?after= query alias) pass through, so a client that
+// reconnects through the coordinator resumes exactly where it left
+// off. The stream runs on the client's request context — no timeout —
+// and ends when the backend closes (terminal event), the client
+// disconnects, or the backend connection drops.
+func (s *clusterServer) proxyEvents(w http.ResponseWriter, r *http.Request) {
+	b, id, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	u := b.baseURL + "/v1/jobs/" + id + "/events"
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u, nil)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, CodeBackendDown, err.Error(), 0)
+		return
+	}
+	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+		req.Header.Set("Last-Event-ID", lid)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := s.c.client.Do(req)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+": "+err.Error(), 0)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		relayEnvelope(w, SubmitResult{Status: resp.StatusCode, Body: body, RetryAfter: resp.Header.Get("Retry-After")})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	rc.Flush()
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			rc.Flush()
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+func (s *clusterServer) healthz(w http.ResponseWriter, r *http.Request) {
+	hv := HealthView{Status: "ok", Healthy: s.c.Healthy(), Backends: s.c.Backends()}
+	if hv.Healthy == 0 {
+		hv.Status = CodeNoBackend
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, hv)
+		return
+	}
+	writeJSON(w, http.StatusOK, hv)
+}
+
+func (s *clusterServer) metricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.c.registry.WritePrometheus(w)
+}
+
+func (s *clusterServer) metricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.c.MetricsSnapshot())
+}
+
+// ---- Envelope plumbing (mirrors the engine server's) ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError emits the unified /v1 error envelope; retryAfter > 0 also
+// sets the Retry-After header (whole seconds, rounded up).
+func writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	env := struct {
+		Error engine.APIError `json:"error"`
+	}{Error: engine.APIError{Code: code, Message: msg}}
+	if retryAfter > 0 {
+		env.Error.RetryAfterMS = retryAfter.Milliseconds()
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, env)
+}
+
+// writeRouted maps a Submit error (always a *RoutedError) to the wire.
+func writeRouted(w http.ResponseWriter, err error) {
+	var re *RoutedError
+	if errors.As(err, &re) {
+		writeError(w, re.Status, re.Code, re.Message, re.RetryAfter)
+		return
+	}
+	writeError(w, http.StatusBadGateway, CodeBackendDown, err.Error(), 0)
+}
+
+// relayEnvelope copies a backend's error response through verbatim
+// (body, status and Retry-After), preserving the engine's envelope.
+func relayEnvelope(w http.ResponseWriter, res SubmitResult) {
+	if res.RetryAfter != "" {
+		w.Header().Set("Retry-After", res.RetryAfter)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if res.Status <= 0 {
+		res.Status = http.StatusBadGateway
+	}
+	w.WriteHeader(res.Status)
+	w.Write(res.Body)
+}

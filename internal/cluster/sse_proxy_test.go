@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+type sseFrame struct {
+	id    int64
+	event string
+}
+
+// parseSSEFrames splits a complete SSE body into (id, event) frames,
+// ignoring comments.
+func parseSSEFrames(t *testing.T, body string) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	for _, block := range strings.Split(body, "\n\n") {
+		var f sseFrame
+		seen := false
+		for _, line := range strings.Split(block, "\n") {
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				n, err := strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64)
+				if err != nil {
+					t.Fatalf("bad SSE id line %q: %v", line, err)
+				}
+				f.id, seen = n, true
+			case strings.HasPrefix(line, "event: "):
+				f.event, seen = strings.TrimPrefix(line, "event: "), true
+			}
+		}
+		if seen {
+			frames = append(frames, f)
+		}
+	}
+	return frames
+}
+
+// Satellite: a client streaming a job's events through the coordinator
+// can disconnect and resume with the standard Last-Event-ID header —
+// the proxy passes it through, the resumed stream picks up exactly one
+// past the last frame seen, and neither hop leaks goroutines.
+func TestClusterSSEProxyResume(t *testing.T) {
+	release := make(chan struct{})
+	injector := engine.InjectorFunc(func(ctx context.Context, site engine.Site, id string) error {
+		if site != engine.SiteRun {
+			return nil
+		}
+		select { // hold the job mid-run so the first stream is live
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	e := engine.New(engine.Config{Workers: 1, Injector: injector})
+	defer e.Close()
+	bsrv := httptest.NewServer(engine.NewServerWith(e, engine.ServerConfig{Heartbeat: 10 * time.Millisecond}))
+	defer bsrv.Close()
+
+	c, err := New(Config{
+		Backends:       []BackendConf{{Name: "b0", URL: bsrv.URL}},
+		HealthInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+
+	// Warm the proxy path so idle-connection goroutines land in the
+	// baseline, then measure.
+	if resp, err := http.Get(srv.URL + "/v1/healthz"); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	baseline := runtime.NumGoroutine()
+
+	v, _ := submitVia(t, srv.URL, engine.Spec{Kind: engine.KindGenerate, Circuit: "s27", NP: 8, Seed: 1})
+
+	// Live stream through the coordinator: read up to the attempt
+	// event, remember its id, disconnect.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/jobs/"+v.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	var lastID int64
+	sawAttempt := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "id: ") {
+			lastID, _ = strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64)
+		}
+		if line == "event: attempt" {
+			sawAttempt = true
+		}
+		if sawAttempt && line == "" {
+			break // full attempt frame delivered
+		}
+	}
+	if !sawAttempt || lastID == 0 {
+		t.Fatalf("live stream ended early: attempt=%v lastID=%d", sawAttempt, lastID)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// Let the job finish, then resume past the frames already seen.
+	close(release)
+	if got := waitVia(t, srv.URL, v.ID); got.Status != engine.StatusDone {
+		t.Fatalf("job = %s (%s)", got.Status, got.Error)
+	}
+	req2, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs/"+v.ID+"/events", nil)
+	req2.Header.Set("Last-Event-ID", strconv.FormatInt(lastID, 10))
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp2.Body) // terminal event ends the stream: clean EOF
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := parseSSEFrames(t, string(body))
+	if len(frames) == 0 {
+		t.Fatalf("resumed stream carried no frames:\n%s", body)
+	}
+	if frames[0].id != lastID+1 {
+		t.Fatalf("resume started at id %d, want %d (no duplicates, no gap)", frames[0].id, lastID+1)
+	}
+	prev := lastID
+	for _, f := range frames {
+		if f.id != prev+1 {
+			t.Fatalf("non-contiguous resumed ids: %d after %d", f.id, prev)
+		}
+		prev = f.id
+	}
+	if frames[len(frames)-1].event != "done" {
+		t.Fatalf("resumed stream did not end on the terminal event: %+v", frames)
+	}
+
+	// Both hops wound down: no stranded proxy or subscription
+	// goroutines once idle connections are released.
+	http.DefaultClient.CloseIdleConnections()
+	c.client.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := e.Events().Subscribers(); got != 0 {
+		t.Fatalf("backend still holds %d subscriptions", got)
+	}
+}

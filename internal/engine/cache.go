@@ -96,21 +96,38 @@ func faultSetDigest(sets ...[]robust.FaultConditions) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// configDigest hashes the spec fields that select the computation.
-// Workers, TimeoutMS and NoCache are deliberately excluded: they must
-// not change results (the determinism golden tests assert this), so
-// serial and sharded runs share cache entries.
-func configDigest(s Spec) string {
+// SpecDigest hashes every Spec field that selects a job's computation
+// — the named circuit plus the config parameters and the input test
+// list — into a stable hex digest. Workers, TimeoutMS and NoCache are
+// deliberately excluded: they must not change results (the determinism
+// golden tests assert this), so serial and sharded runs share digests.
+//
+// The digest is used twice, and the two uses must agree: the engine
+// embeds it in its result cache key, and the cluster coordinator
+// hashes it onto the backend ring — so resubmitting an identical spec
+// routes to the backend that already holds the cached result. The
+// spec is normalized first (defaults filled), so a spec that spells
+// the default heuristic explicitly digests identically to one that
+// omits it; a spec that fails validation is digested as given. The
+// format is versioned ("spec/v1") and pinned by a golden test:
+// changing it reshuffles every ring assignment and orphans cached
+// results across a rolling upgrade, so bump it deliberately.
+func SpecDigest(s Spec) string {
+	if ns, err := s.normalized(); err == nil {
+		s = ns
+	}
 	h := sha256.New()
-	fmt.Fprintf(h, "kind=%s np=%d np0=%d seed=%d heur=%s bnb=%t collapse=%t\n",
-		s.Kind, s.NP, s.NP0, s.Seed, s.Heuristic, s.UseBnB, s.Collapse)
+	fmt.Fprintf(h, "spec/v1 circuit=%s kind=%s np=%d np0=%d seed=%d heur=%s bnb=%t collapse=%t\n",
+		s.Circuit, s.Kind, s.NP, s.NP0, s.Seed, s.Heuristic, s.UseBnB, s.Collapse)
 	for _, t := range s.Tests {
 		fmt.Fprintln(h, t)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// cacheKey combines the three identity digests of a prepared job.
-func cacheKey(circuitHash, configHash, faultHash string) string {
-	return circuitHash[:16] + "/" + configHash[:16] + "/" + faultHash[:16]
+// cacheKey combines the three identity digests of a prepared job: the
+// circuit structure hash, the SpecDigest routing key, and the
+// enumerated fault-set digest.
+func cacheKey(circuitHash, specHash, faultHash string) string {
+	return circuitHash[:16] + "/" + specHash[:16] + "/" + faultHash[:16]
 }

@@ -463,6 +463,14 @@ func (e *Engine) Metrics() Snapshot {
 // CacheLen returns the number of cached results.
 func (e *Engine) CacheLen() int { return e.cache.Len() }
 
+// QueueDepth returns the instantaneous run-queue occupancy. Cheap
+// enough for /healthz, which the cluster coordinator probes to rank
+// backends for least-loaded spillover.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// Inflight returns the number of jobs currently executing.
+func (e *Engine) Inflight() int { return int(e.metrics.jobsRunning.Load()) }
+
 // Overloaded reports whether the queue has passed the shed watermark
 // and not yet drained back below the low-water mark; the server's
 // /healthz degrades on it.
@@ -901,7 +909,7 @@ func (e *Engine) execute(ctx context.Context, j *Job) (*Result, bool, error) {
 	// Stage 2: cache lookup keyed by (circuit hash, config digest,
 	// fault-set digest).
 	circuitHash := CircuitDigest(c)
-	key := cacheKey(circuitHash, configDigest(spec), faultSetDigest(p0, p1))
+	key := cacheKey(circuitHash, SpecDigest(spec), faultSetDigest(p0, p1))
 	if !spec.NoCache {
 		res, ok := e.cache.Get(key)
 		_, lspan := obs.StartSpan(ctx, "cache_lookup", obs.Bool("hit", ok))

@@ -284,13 +284,26 @@ func (s *server) trace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"job_id": id, "trace": j.TraceView()})
 }
 
+// Health is the /v1/healthz (and legacy /healthz) response body.
+// Status is the legacy plain field ("ok", or "overloaded" beside a 503
+// past the shed watermark); QueueDepth and Inflight size the backend's
+// current load so the cluster coordinator can rank backends for
+// least-loaded spillover.
+type Health struct {
+	Status     string `json:"status"`
+	QueueDepth int    `json:"queue_depth"`
+	Inflight   int    `json:"inflight"`
+}
+
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{Status: "ok", QueueDepth: s.e.QueueDepth(), Inflight: s.e.Inflight()}
 	if s.e.Overloaded() {
+		h.Status = "overloaded"
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "overloaded"})
+		writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *server) metricsProm(w http.ResponseWriter, r *http.Request) {

@@ -167,14 +167,18 @@ func DefaultConfig() *Config {
 			"repro/internal/tval",
 		},
 		LongLivedPkgs: []string{
+			"repro/internal/cluster",
 			"repro/internal/engine",
 			"repro/internal/events",
 			"repro/internal/journal",
 			"repro/internal/retry",
 			"repro/internal/obs",
 		},
-		EnginePkgs: []string{"repro/internal/engine"},
-		ObsPkg:     "repro/internal/obs",
+		EnginePkgs: []string{
+			"repro/internal/cluster",
+			"repro/internal/engine",
+		},
+		ObsPkg: "repro/internal/obs",
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 var fixtureNames = []string{
 	"rand", "timenow", "maporder", "locks",
 	"gofunc", "metricname", "spanend", "errenvelope",
+	"coordenvelope",
 }
 
 const fixturePathPrefix = "repro/internal/lint/testdata/src/"
@@ -72,8 +73,11 @@ func loadFixtures(t *testing.T) ([]*lint.Package, *lint.Config) {
 			fixturePathPrefix + "maporder",
 		},
 		LongLivedPkgs: []string{fixturePathPrefix + "gofunc"},
-		EnginePkgs:    []string{fixturePathPrefix + "errenvelope"},
-		ObsPkg:        "repro/internal/obs",
+		EnginePkgs: []string{
+			fixturePathPrefix + "errenvelope",
+			fixturePathPrefix + "coordenvelope",
+		},
+		ObsPkg: "repro/internal/obs",
 	}
 	return fixtures, cfg
 }

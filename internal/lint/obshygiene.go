@@ -19,6 +19,7 @@ var obsConstructors = map[string]int{
 	"NewCounterVec":   0,
 	"NewCounterFunc":  0,
 	"NewGaugeFunc":    0,
+	"NewGaugeVec":     0,
 	"NewHistogram":    0,
 	"NewHistogramVec": 0,
 }
@@ -93,7 +94,7 @@ func obsConstructorCall(pass *Pass, file *ast.File, call *ast.CallExpr) (string,
 func checkLabelArgs(pass *Pass, ctor string, call *ast.CallExpr) {
 	var labelStart int
 	switch ctor {
-	case "NewCounterVec":
+	case "NewCounterVec", "NewGaugeVec":
 		labelStart = 2 // (name, help, labels...)
 	case "NewHistogramVec":
 		labelStart = 3 // (name, help, buckets, labels...)

@@ -1,0 +1,63 @@
+// Package coordenvelope is the pdflint fixture for the errenvelope
+// analyzer over coordinator-shaped handlers: routing and batch
+// fan-out code answers errors through the unified envelope too —
+// http.Error is just as forbidden when the error is "no backend" as
+// when it is "invalid spec".
+package coordenvelope
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// routedError mirrors the coordinator's folded routing failure.
+type routedError struct {
+	Status int
+	Code   string
+	Msg    string
+}
+
+// writeRouted is the fixture's stand-in for the coordinator's
+// envelope helper.
+func writeRouted(w http.ResponseWriter, re routedError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(re.Status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]any{"code": re.Code, "message": re.Msg},
+	})
+}
+
+// route is a stand-in owner-chain walk: no backend eligible.
+func route() *routedError {
+	return &routedError{Status: http.StatusServiceUnavailable, Code: "no_backend", Msg: "no healthy backend"}
+}
+
+// BadSubmit bypasses the envelope on a routing failure.
+func BadSubmit(w http.ResponseWriter, r *http.Request) {
+	if re := route(); re != nil {
+		http.Error(w, re.Msg, re.Status) // want `http.Error bypasses the /v1 error envelope`
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// BadBatch bypasses the envelope on a malformed batch body.
+func BadBatch(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, "bad batch", http.StatusBadRequest) // want `http.Error bypasses the /v1 error envelope`
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// GoodSubmit answers routing failures through the envelope.
+func GoodSubmit(w http.ResponseWriter, r *http.Request) {
+	if re := route(); re != nil {
+		writeRouted(w, *re)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}

@@ -211,6 +211,89 @@ func (v *CounterVec) expose(w io.Writer) error {
 	return nil
 }
 
+// ---- Gauge ----
+
+// Gauge is a settable instantaneous value. Prefer NewGaugeFunc when
+// the value can be read from existing state at scrape time; a Gauge
+// is for values only the writer knows (per-backend health states in
+// the cluster coordinator).
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct {
+	name, help string
+	labels     []string
+	mu         sync.Mutex
+	children   map[string]*vecChild[*Gauge]
+}
+
+// NewGaugeVec builds a labeled gauge family.
+func NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{name: name, help: help, labels: labels,
+		children: make(map[string]*vecChild[*Gauge])}
+}
+
+// With returns (creating on first use) the gauge for the given label
+// values, which must match the label names positionally.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic("obs: label cardinality mismatch on " + v.name)
+	}
+	k := vecKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.children[k]
+	if c == nil {
+		c = &vecChild[*Gauge]{values: append([]string(nil), values...), metric: &Gauge{}}
+		v.children[k] = c
+	}
+	return c.metric
+}
+
+func (v *GaugeVec) familyName() string { return v.name }
+
+func (v *GaugeVec) expose(w io.Writer) error {
+	if err := header(w, v.name, v.help, "gauge"); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]string, 0, len(keys))
+	for _, k := range keys {
+		c := v.children[k]
+		rows = append(rows, fmt.Sprintf("%s%s %s\n", v.name, labelPairs(v.labels, c.values), formatFloat(c.metric.Value())))
+	}
+	v.mu.Unlock()
+	for _, row := range rows {
+		if _, err := io.WriteString(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ---- Counter / gauge funcs ----
 
 type funcMetric struct {
