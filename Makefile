@@ -4,7 +4,7 @@ GO ?= go
 # refresh it with `make bench` and commit the new file (see PERF.md).
 BENCH_BASELINE ?= BENCH_2026-08-06.json
 
-.PHONY: build test lint race check chaos obs-smoke cluster-smoke bench bench-check go-bench engine-bench
+.PHONY: build test lint race check chaos chaos-cluster obs-smoke cluster-smoke bench bench-check go-bench engine-bench
 
 build:
 	$(GO) build ./...
@@ -25,13 +25,22 @@ lint:
 race:
 	$(GO) test -race ./internal/engine/... ./internal/faultsim/... \
 		./internal/events/... ./internal/journal/... ./internal/retry/... \
-		./internal/cluster/...
+		./internal/cluster/... ./internal/store/... ./internal/chaosnet/...
 
 # The fault-injection suite: panic containment, retry/backoff, crash +
 # journal replay, load shedding — twice under the race detector.
 chaos:
 	$(GO) test -race -count=2 -run 'TestChaos|TestWait|TestRetry|TestDo|TestDelay|TestJournal|TestLive|TestOpen' \
 		./internal/engine/ ./internal/journal/ ./internal/retry/
+
+# The cluster chaos suite: partitions, injected error rates and backend
+# death via the chaosnet fault-injecting transport, pinning no-job-lost,
+# breaker open/close, replication and hinted handoff — plus the durable
+# store's kill -9 warm-restart acceptance test.
+chaos-cluster:
+	$(GO) test -race ./internal/chaosnet/
+	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/cluster/
+	$(GO) test -race -count=1 -run 'TestPDFDStoreWarmRestart' -v ./internal/cli/
 
 # Observability smoke: boot pdfd, run a compacted c17 job, assert the
 # Prometheus exposition and the job's span timeline are well-formed.
@@ -52,6 +61,7 @@ check:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) cluster-smoke
+	$(MAKE) chaos-cluster
 	$(MAKE) bench-check
 
 # Run the perfreg suite and write a fresh BENCH_<date>.json snapshot

@@ -1,0 +1,161 @@
+package chaosnet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+)
+
+func okServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestTransportPassThrough(t *testing.T) {
+	srv := okServer(t)
+	client := &http.Client{Transport: NewTransport(nil, 1)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ok" {
+		t.Fatalf("pass-through got %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestTransportPartition(t *testing.T) {
+	srv := okServer(t)
+	tr := NewTransport(nil, 1)
+	host := srv.Listener.Addr().String()
+	tr.Partition(host, true)
+	client := &http.Client{Transport: tr}
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("partitioned request succeeded")
+	} else {
+		var uerr *url.Error
+		if !asURLError(err, &uerr) {
+			t.Fatalf("want *url.Error wrapping the injected fault, got %T: %v", err, err)
+		}
+	}
+	if tr.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", tr.Injected())
+	}
+	// Heal: traffic flows again.
+	tr.Partition(host, false)
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("healed request failed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func asURLError(err error, target **url.Error) bool {
+	u, ok := err.(*url.Error)
+	if ok {
+		*target = u
+	}
+	return ok
+}
+
+func TestTransportErrorRate(t *testing.T) {
+	srv := okServer(t)
+	tr := NewTransport(nil, 42)
+	host := srv.Listener.Addr().String()
+	tr.SetRule(host, Rule{ErrorRate: 1.0})
+	client := &http.Client{Transport: tr}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Get(srv.URL); err == nil {
+			t.Fatal("request with ErrorRate 1.0 succeeded")
+		}
+	}
+	tr.SetRule(host, Rule{})
+	if resp, err := client.Get(srv.URL); err != nil {
+		t.Fatalf("cleared rule: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+func TestTransportDropRateIsProbabilistic(t *testing.T) {
+	srv := okServer(t)
+	tr := NewTransport(nil, 7)
+	host := srv.Listener.Addr().String()
+	tr.SetRule(host, Rule{DropRate: 0.5})
+	client := &http.Client{Transport: tr}
+	failures := 0
+	for i := 0; i < 40; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			failures++
+			continue
+		}
+		resp.Body.Close()
+	}
+	if failures == 0 || failures == 40 {
+		t.Fatalf("DropRate 0.5 gave %d/40 failures; want a mix", failures)
+	}
+}
+
+func TestTransportLatencyHonorsContext(t *testing.T) {
+	srv := okServer(t)
+	tr := NewTransport(nil, 1)
+	host := srv.Listener.Addr().String()
+	tr.SetRule(host, Rule{Latency: 10 * time.Second})
+	client := &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("latency-delayed request succeeded past its deadline")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("context cancellation took %v; latency sleep not interruptible", d)
+	}
+}
+
+func TestListenerPartition(t *testing.T) {
+	inner := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	wrapped := WrapListener(inner.Listener)
+	inner.Listener = wrapped
+	inner.Start()
+	defer inner.Close()
+
+	// Fresh connection per request so a severed keep-alive conn cannot
+	// mask the partition behavior.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+	resp, err := client.Get(inner.URL)
+	if err != nil {
+		t.Fatalf("pre-partition: %v", err)
+	}
+	resp.Body.Close()
+
+	wrapped.Partition(true)
+	if _, err := client.Get(inner.URL); err == nil {
+		t.Fatal("request through a partitioned listener succeeded")
+	}
+	if wrapped.Severed() == 0 {
+		t.Fatal("partition severed no connections")
+	}
+
+	wrapped.Partition(false)
+	resp, err = client.Get(inner.URL)
+	if err != nil {
+		t.Fatalf("post-heal: %v", err)
+	}
+	resp.Body.Close()
+}

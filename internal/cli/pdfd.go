@@ -18,6 +18,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/journal"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // PDFD implements cmd/pdfd: the HTTP job server over the enrichment
@@ -48,19 +49,23 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 		shed       = fs.Int("shed-watermark", 0, "queue depth at which submissions are shed with 503 before the queue is full (0 = disabled)")
 		spanLimit  = fs.Int("trace-spans", obs.DefaultSpanLimit, "per-job span timeline cap (0 disables span collection entirely); excess spans are counted, not kept")
 		journalDir = fs.String("journal", "", "directory of the durable job journal; queued and running jobs survive a crash and replay on restart (empty = no journal)")
+		storeDir   = fs.String("store", "", "directory of the durable result store; completed results survive a crash and serve cache hits after restart (empty = memory cache only)")
+		storeSize  = fs.Int("store-entries", store.DefaultMaxEntries, "durable store entry cap before LRU eviction (negative = unbounded)")
+		storeBytes = fs.Int64("store-bytes", store.DefaultMaxBytes, "durable store payload byte cap before LRU eviction (negative = unbounded)")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful shutdown: how long running jobs may finish after a signal")
 
 		coordinator = fs.Bool("coordinator", false, "run as a cluster coordinator fronting -backends instead of a local engine")
 		backendsArg = fs.String("backends", "", "coordinator: comma-separated backends, each name=url or a bare url (auto-named b0, b1, ...)")
 		healthIvl   = fs.Duration("health-interval", 2*time.Second, "coordinator: backend health probe interval")
 		vnodes      = fs.Int("vnodes", cluster.DefaultVNodes, "coordinator: virtual nodes per backend on the hash ring")
+		replication = fs.Int("replication", 2, "coordinator: backends each completed result is stored on (needs backends running with -store; 1 = no replication)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	log := obs.NewLogger(stdout, *logFormat, *logLevel)
 	if *coordinator {
-		return runCoordinator(*addr, *debugAddr, *backendsArg, *healthIvl, *vnodes, log)
+		return runCoordinator(*addr, *debugAddr, *backendsArg, *healthIvl, *vnodes, *replication, log)
 	}
 	// The flag speaks operator language (0 = off); the engine uses a
 	// negative limit for "no trace" and 0 for its own default.
@@ -87,6 +92,19 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 		defer jlog.Close()
 		cfg.Journal = jlog
 		replay = recs
+	}
+	if *storeDir != "" {
+		st, err := store.Open(store.Config{
+			Dir:        *storeDir,
+			MaxEntries: *storeSize,
+			MaxBytes:   *storeBytes,
+			Logger:     log,
+		})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		cfg.Store = st
 	}
 	eng := engine.New(cfg)
 	if *journalDir != "" {
@@ -159,16 +177,17 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 // consistent hashing on each job's SpecDigest. It blocks until the
 // listener fails or a SIGINT / SIGTERM arrives; shutdown stops the
 // listener, then the health loops.
-func runCoordinator(addr, debugAddr, backendsArg string, healthIvl time.Duration, vnodes int, log *slog.Logger) error {
+func runCoordinator(addr, debugAddr, backendsArg string, healthIvl time.Duration, vnodes, replication int, log *slog.Logger) error {
 	confs, err := parseBackends(backendsArg)
 	if err != nil {
 		return err
 	}
 	coord, err := cluster.New(cluster.Config{
-		Backends:       confs,
-		VNodes:         vnodes,
-		HealthInterval: healthIvl,
-		Logger:         log,
+		Backends:          confs,
+		VNodes:            vnodes,
+		HealthInterval:    healthIvl,
+		ReplicationFactor: replication,
+		Logger:            log,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,201 @@
+package cli
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPDFDStoreHelperProcess is not a test: it is the child body of
+// TestPDFDStoreWarmRestartKill9, re-executing the test binary as a
+// real pdfd process that can be SIGKILLed without taking the test
+// down. Guarded by env so normal runs skip it.
+func TestPDFDStoreHelperProcess(t *testing.T) {
+	if os.Getenv("PDFD_STORE_HELPER") != "1" {
+		t.Skip("helper process for TestPDFDStoreWarmRestartKill9")
+	}
+	err := PDFD([]string{
+		"-addr", "127.0.0.1:0", "-workers", "2",
+		"-store", os.Getenv("PDFD_STORE_DIR"),
+	}, os.Stdout, os.Stderr)
+	if err != nil {
+		t.Fatalf("helper pdfd: %v", err)
+	}
+}
+
+// submitAndWait posts one enrichment spec and waits it to done,
+// returning the raw "result" JSON and whether it was a cache hit.
+func submitAndWait(t *testing.T, base, spec string) (json.RawMessage, bool) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || v.ID == "" {
+		t.Fatalf("submit = %d %+v", resp.StatusCode, v)
+	}
+	resp, err = http.Get(base + "/v1/jobs/" + v.ID + "?wait=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done struct {
+		Status   string          `json:"status"`
+		Error    string          `json:"error"`
+		CacheHit bool            `json:"cache_hit"`
+		Result   json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&done); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if done.Status != "done" {
+		t.Fatalf("job = %s (%s)", done.Status, done.Error)
+	}
+	return done.Result, done.CacheHit
+}
+
+// The acceptance pin for the durable store: SIGKILL a pdfd mid-sweep,
+// restart it over the same -store directory, resubmit the sweep — the
+// completed specs come back as cache hits with byte-identical results
+// and zero re-simulation.
+func TestPDFDStoreWarmRestartKill9(t *testing.T) {
+	dir := t.TempDir()
+
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestPDFDStoreHelperProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), "PDFD_STORE_HELPER=1", "PDFD_STORE_DIR="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	// Scan the child's log stream for its ephemeral address.
+	var base string
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("child pdfd never started listening")
+	}
+
+	// A sweep of four specs. The first two complete (their results are
+	// fsynced into the store before the job is reported done)...
+	specs := []string{
+		`{"kind":"enrich","circuit":"s27","np0":10,"seed":1}`,
+		`{"kind":"enrich","circuit":"s27","np0":10,"seed":2}`,
+		`{"kind":"enrich","circuit":"s27","np0":10,"seed":3}`,
+		`{"kind":"enrich","circuit":"s27","np0":10,"seed":4}`,
+	}
+	firstResults := make([]json.RawMessage, 2)
+	for i := 0; i < 2; i++ {
+		res, hit := submitAndWait(t, base, specs[i])
+		if hit {
+			t.Fatalf("spec %d: first run was a cache hit", i)
+		}
+		firstResults[i] = res
+	}
+	// ...the rest are submitted and the process is killed outright
+	// while they are in flight — a crash mid-sweep, no drain, no
+	// journal flush.
+	for _, spec := range specs[2:] {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("mid-sweep submit = %d", resp.StatusCode)
+		}
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Restart over the same store directory (in-process this time; the
+	// durability claim is about the directory, not the process).
+	var out syncBuffer
+	base2, exit := startPDFD(t, &out, "-store", dir)
+
+	// The completed specs are warm: cache hits, byte-identical results.
+	hits := 0
+	for i := 0; i < 2; i++ {
+		res, hit := submitAndWait(t, base2, specs[i])
+		if !hit {
+			t.Fatalf("spec %d: resubmit after kill -9 + restart missed the cache", i)
+		}
+		hits++
+		if !bytes.Equal(res, firstResults[i]) {
+			t.Fatalf("spec %d: restored result differs:\n%s\nvs\n%s", i, firstResults[i], res)
+		}
+	}
+	// The specs in flight at the kill either finished (and were fsynced)
+	// before the signal landed — then they hit too — or died with the
+	// process and recompute. Either way the resubmission completes; a
+	// half-written entry surfacing as anything but a clean miss would
+	// fail here.
+	for _, spec := range specs[2:] {
+		if _, hit := submitAndWait(t, base2, spec); hit {
+			hits++
+		}
+	}
+
+	// Zero re-simulation for the warm specs: every hit came from disk.
+	resp, err := http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb bytes.Buffer
+	io.Copy(&mb, resp.Body)
+	resp.Body.Close()
+	if want := fmt.Sprintf("pdfd_store_hits_total %d", hits); !strings.Contains(mb.String(), want) {
+		t.Errorf("store hit counter != %d warm resubmits:\n%s", hits,
+			grepMetric(mb.String(), "pdfd_store_"))
+	}
+
+	stopPDFD(t, exit)
+}
+
+// grepMetric filters an exposition down to one family prefix for
+// readable failure output.
+func grepMetric(exposition, prefix string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.Contains(line, prefix) {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

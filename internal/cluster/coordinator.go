@@ -89,6 +89,20 @@ type Config struct {
 	// marked down and removed from the ring; 0 uses 3.
 	DownAfter int
 
+	// ReplicationFactor is the number of backends each completed
+	// result is stored on: the executing backend plus enough
+	// successors on the static full ring to reach this count. A
+	// backend that is down when its copy is due gets a hinted handoff,
+	// delivered when it recovers. 0 or 1 disables replication (the
+	// pre-replication single-copy behavior); pdfd -coordinator enables
+	// 2 by default.
+	ReplicationFactor int
+
+	// Transport overrides the coordinator's backend HTTP transport
+	// (the chaos suite injects latency, errors and partitions here);
+	// nil uses a pooled default.
+	Transport http.RoundTripper
+
 	// RequestTimeout bounds one proxied (non-SSE) backend request;
 	// 0 uses 30s.
 	RequestTimeout time.Duration
@@ -162,6 +176,14 @@ type Coordinator struct {
 	mu   sync.Mutex // guards ring
 	ring *Ring
 
+	// fullRing places every configured backend regardless of health:
+	// replica placement must be stable across failures, or the copies
+	// walk the ring every time membership changes. Immutable after New.
+	fullRing *Ring
+
+	// repl drives result replication; nil when ReplicationFactor < 2.
+	repl *replicator
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -183,16 +205,19 @@ func New(cfg Config) (*Coordinator, error) {
 	if log == nil {
 		log = obs.NopLogger()
 	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = &http.Transport{MaxIdleConnsPerHost: 32}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator{
 		cfg:      cfg,
 		log:      log,
 		registry: reg,
-		client: &http.Client{Transport: &http.Transport{
-			MaxIdleConnsPerHost: 32,
-		}},
+		client:   &http.Client{Transport: transport},
 		backends: make(map[string]*backend, len(cfg.Backends)),
 		ring:     NewRing(cfg.VNodes),
+		fullRing: NewRing(cfg.VNodes),
 		ctx:      ctx,
 		cancel:   cancel,
 	}
@@ -216,13 +241,19 @@ func New(cfg Config) (*Coordinator, error) {
 		c.backends[bc.Name] = b
 		c.order = append(c.order, bc.Name)
 		c.ring.Add(bc.Name)
+		c.fullRing.Add(bc.Name)
 		c.metrics.setBackendGauges(b)
+	}
+	if cfg.ReplicationFactor > 1 {
+		c.repl = newReplicator(c, cfg.ReplicationFactor)
+		registerReplicationMetrics(reg, c.repl)
 	}
 	for _, name := range c.order {
 		c.wg.Add(1)
 		go c.healthLoop(c.backends[name])
 	}
-	c.log.Info("cluster coordinator up", "backends", len(c.order), "vnodes", cfg.VNodes)
+	c.log.Info("cluster coordinator up", "backends", len(c.order), "vnodes", cfg.VNodes,
+		"replication_factor", cfg.ReplicationFactor)
 	return c, nil
 }
 
@@ -230,10 +261,13 @@ func New(cfg Config) (*Coordinator, error) {
 // /v1/metrics by the cluster server.
 func (c *Coordinator) Registry() *obs.Registry { return c.registry }
 
-// Close stops the health loops and releases idle connections. In
-// flight proxied requests are canceled.
+// Close stops the health loops, the replication watchers and releases
+// idle connections. In flight proxied requests are canceled.
 func (c *Coordinator) Close() {
 	c.cancel()
+	if c.repl != nil {
+		c.repl.close()
+	}
 	c.wg.Wait()
 	c.client.CloseIdleConnections()
 }
@@ -337,7 +371,7 @@ func (c *Coordinator) Submit(ctx context.Context, spec engine.Spec) (SubmitResul
 				sres, serr := c.forwardSubmit(ctx, spill, body)
 				if serr == nil && sres.Status == http.StatusAccepted {
 					c.metrics.spillovers.Add(1)
-					return c.accepted(sres, Route{Backend: spill.name, Owner: owner, Affinity: "spillover"})
+					return c.acceptedReplicating(sres, Route{Backend: spill.name, Owner: owner, Affinity: "spillover"}, digest, spec.NoCache)
 				}
 			}
 			// No spill target (or it shed too): relay the 503 envelope.
@@ -345,7 +379,7 @@ func (c *Coordinator) Submit(ctx context.Context, spec engine.Spec) (SubmitResul
 			return res, nil
 		}
 		if res.Status == http.StatusAccepted {
-			return c.accepted(res, Route{Backend: b.name, Owner: owner, Affinity: affinity})
+			return c.acceptedReplicating(res, Route{Backend: b.name, Owner: owner, Affinity: affinity}, digest, spec.NoCache)
 		}
 		// Any other backend answer (invalid_spec, engine_closed):
 		// relay verbatim, no retry elsewhere — the spec would fail
@@ -365,13 +399,26 @@ func (c *Coordinator) Submit(ctx context.Context, spec engine.Spec) (SubmitResul
 	}
 }
 
+// acceptedReplicating is accepted plus the replication hook: once the
+// job is acknowledged, a watcher follows it to completion and copies
+// the result to the replica set (no-op when replication is disabled
+// or the spec bypasses the cache).
+func (c *Coordinator) acceptedReplicating(res SubmitResult, route Route, digest string, noCache bool) (SubmitResult, error) {
+	out, err := c.accepted(res, route)
+	if err == nil && c.repl != nil && !noCache {
+		c.repl.watch(route.Backend, strings.TrimPrefix(out.View.ID, route.Backend+"/"), digest)
+	}
+	return out, err
+}
+
 // accepted decodes and rewrites an accepted submission.
 func (c *Coordinator) accepted(res SubmitResult, route Route) (SubmitResult, error) {
 	var v engine.JobView
 	if err := json.Unmarshal(res.Body, &v); err != nil {
 		return SubmitResult{}, &RoutedError{
 			Status: http.StatusBadGateway, Code: CodeBackendDown,
-			Message: "backend " + route.Backend + " returned an unreadable job view: " + err.Error(),
+			Message:    "backend " + route.Backend + " returned an unreadable job view: " + err.Error(),
+			RetryAfter: time.Second,
 		}
 	}
 	v.ID = route.Backend + "/" + v.ID

@@ -4,26 +4,34 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"math/rand"
 	"net/http"
 	"time"
 
 	"repro/internal/engine"
 )
 
-// healthLoop probes one backend every HealthInterval until the
-// coordinator closes. Each backend has exactly one health goroutine;
-// it is the sole writer of that backend's state, load snapshot and
-// ring membership.
+// healthLoop probes one backend roughly every HealthInterval until
+// the coordinator closes. Each backend has exactly one health
+// goroutine; it is the sole writer of that backend's state, load
+// snapshot and ring membership.
+//
+// The sleep between probes is jittered ±20% with a per-backend
+// deterministic source, so a fleet of coordinators started together
+// (or one coordinator with many backends) does not align its probes
+// into synchronized bursts against the backends.
 func (c *Coordinator) healthLoop(b *backend) {
 	defer c.wg.Done()
-	ticker := time.NewTicker(c.cfg.HealthInterval)
-	defer ticker.Stop()
+	rng := rand.New(rand.NewSource(int64(ringHash(b.name))))
 	for {
 		c.probe(b)
+		d := time.Duration((0.8 + 0.4*rng.Float64()) * float64(c.cfg.HealthInterval))
+		timer := time.NewTimer(d)
 		select {
 		case <-c.ctx.Done():
+			timer.Stop()
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
 	}
 }
@@ -97,6 +105,11 @@ func (c *Coordinator) setState(b *backend, next State) {
 			c.log.Info("backend state changed", "backend", b.name, "from", string(prev), "to", string(next))
 		} else {
 			c.log.Warn("backend state changed", "backend", b.name, "from", string(prev), "to", string(next))
+		}
+		if prev == StateDown && next == StateHealthy && c.repl != nil {
+			// The backend is reachable again: flush any replica copies
+			// that were hinted while it was down.
+			c.repl.backendRecovered(b)
 		}
 	}
 	c.mu.Lock()

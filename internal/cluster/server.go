@@ -232,7 +232,7 @@ func (s *clusterServer) proxyGet(w http.ResponseWriter, r *http.Request) {
 	}
 	status, body, hdr, err := s.c.do(r.Context(), b, http.MethodGet, path, "jobs.get", nil, nil)
 	if err != nil {
-		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+": "+err.Error(), 0)
+		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+": "+err.Error(), time.Second)
 		return
 	}
 	if status != http.StatusOK {
@@ -241,7 +241,7 @@ func (s *clusterServer) proxyGet(w http.ResponseWriter, r *http.Request) {
 	}
 	var v engine.JobView
 	if err := json.Unmarshal(body, &v); err != nil {
-		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+" returned an unreadable job view", 0)
+		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+" returned an unreadable job view", time.Second)
 		return
 	}
 	v.ID = b.name + "/" + v.ID
@@ -255,7 +255,7 @@ func (s *clusterServer) proxyCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	status, body, hdr, err := s.c.do(r.Context(), b, http.MethodDelete, "/v1/jobs/"+id, "jobs.cancel", nil, nil)
 	if err != nil {
-		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+": "+err.Error(), 0)
+		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+": "+err.Error(), time.Second)
 		return
 	}
 	if status != http.StatusOK {
@@ -267,7 +267,7 @@ func (s *clusterServer) proxyCancel(w http.ResponseWriter, r *http.Request) {
 		Canceled bool   `json:"canceled"`
 	}
 	if err := json.Unmarshal(body, &out); err != nil {
-		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+" returned an unreadable cancel result", 0)
+		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+" returned an unreadable cancel result", time.Second)
 		return
 	}
 	out.ID = b.name + "/" + out.ID
@@ -281,7 +281,7 @@ func (s *clusterServer) proxyTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	status, body, hdr, err := s.c.do(r.Context(), b, http.MethodGet, "/v1/jobs/"+id+"/trace", "jobs.trace", nil, nil)
 	if err != nil {
-		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+": "+err.Error(), 0)
+		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+": "+err.Error(), time.Second)
 		return
 	}
 	if status != http.StatusOK {
@@ -293,7 +293,7 @@ func (s *clusterServer) proxyTrace(w http.ResponseWriter, r *http.Request) {
 		Trace json.RawMessage `json:"trace"`
 	}
 	if err := json.Unmarshal(body, &out); err != nil {
-		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+" returned an unreadable trace", 0)
+		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+" returned an unreadable trace", time.Second)
 		return
 	}
 	out.JobID = b.name + "/" + out.JobID
@@ -318,7 +318,7 @@ func (s *clusterServer) proxyEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u, nil)
 	if err != nil {
-		writeError(w, http.StatusBadGateway, CodeBackendDown, err.Error(), 0)
+		writeError(w, http.StatusBadGateway, CodeBackendDown, err.Error(), time.Second)
 		return
 	}
 	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
@@ -327,7 +327,7 @@ func (s *clusterServer) proxyEvents(w http.ResponseWriter, r *http.Request) {
 	req.Header.Set("Accept", "text/event-stream")
 	resp, err := s.c.client.Do(req)
 	if err != nil {
-		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+": "+err.Error(), 0)
+		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+": "+err.Error(), time.Second)
 		return
 	}
 	defer resp.Body.Close()
@@ -408,7 +408,7 @@ func writeRouted(w http.ResponseWriter, err error) {
 		writeError(w, re.Status, re.Code, re.Message, re.RetryAfter)
 		return
 	}
-	writeError(w, http.StatusBadGateway, CodeBackendDown, err.Error(), 0)
+	writeError(w, http.StatusBadGateway, CodeBackendDown, err.Error(), time.Second)
 }
 
 // relayEnvelope copies a backend's error response through verbatim

@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/retry"
 	"repro/internal/robust"
+	"repro/internal/store"
 	"repro/internal/testio"
 )
 
@@ -88,6 +89,13 @@ type Config struct {
 	// appended records the log is rewritten to just the live jobs.
 	// 0 means 256.
 	JournalCompactEvery int
+
+	// Store, when set, is the durable on-disk result store behind the
+	// in-memory LRU: completed results are written through on job
+	// completion and read through on a memory miss, so a restarted
+	// process (same store directory) serves cache hits for work
+	// computed before it died. nil keeps results in memory only.
+	Store *store.Store
 
 	// Injector, when set, is invoked at named pipeline sites; the
 	// chaos tests use it to inject panics, latency and simulated
@@ -912,6 +920,11 @@ func (e *Engine) execute(ctx context.Context, j *Job) (*Result, bool, error) {
 	key := cacheKey(circuitHash, SpecDigest(spec), faultSetDigest(p0, p1))
 	if !spec.NoCache {
 		res, ok := e.cache.Get(key)
+		if !ok {
+			// Memory miss: read through the durable store (promotes
+			// into the LRU on success).
+			res, ok = e.storeGet(key, len(c.PIs))
+		}
 		_, lspan := obs.StartSpan(ctx, "cache_lookup", obs.Bool("hit", ok))
 		lspan.End()
 		if ok {
@@ -1033,6 +1046,7 @@ func (e *Engine) execute(ctx context.Context, j *Job) (*Result, bool, error) {
 	if !spec.NoCache {
 		e.cache.Put(key, res)
 		e.metrics.cachePuts.Add(1)
+		e.storePut(key, res)
 	}
 	if err := e.inject(ctx, SiteDone, j.id); err != nil {
 		return nil, false, err

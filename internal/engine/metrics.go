@@ -232,6 +232,21 @@ func buildRegistry(e *Engine) *obs.Registry {
 		m.secondaryOutcomes,
 		m.regenPerTest,
 	)
+	if st := e.cfg.Store; st != nil {
+		sm := st.MetricsRef()
+		reg.MustRegister(
+			ctr("pdfd_store_hits_total", "Durable store read-through hits.", &sm.Hits),
+			ctr("pdfd_store_misses_total", "Durable store read-through misses.", &sm.Misses),
+			ctr("pdfd_store_puts_total", "Durable store write-throughs completed.", &sm.Puts),
+			ctr("pdfd_store_put_errors_total", "Durable store writes that failed.", &sm.PutErrors),
+			ctr("pdfd_store_evictions_total", "Durable store entries evicted by the size bounds.", &sm.Evictions),
+			ctr("pdfd_store_corrupt_total", "Durable store entries rejected as torn or corrupt on load.", &sm.Corrupt),
+			obs.NewGaugeFunc("pdfd_store_entries", "Durable store entry count.",
+				func() float64 { return float64(st.Len()) }),
+			obs.NewGaugeFunc("pdfd_store_bytes", "Durable store total payload bytes.",
+				func() float64 { return float64(st.Bytes()) }),
+		)
+	}
 	obs.RegisterGoRuntime(reg)
 	return reg
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"log/slog"
 	"net/http"
 	"regexp"
@@ -27,6 +28,9 @@ const (
 	CodeInvalidSpec = "invalid_spec"
 	// CodeEngineClosed: the engine is shutting down and accepts no work.
 	CodeEngineClosed = "engine_closed"
+	// CodeNoStore: a cache install (PUT /v1/cache/{key}) reached a
+	// backend running without a durable store (-store not set).
+	CodeNoStore = "no_store"
 )
 
 // APIError is the error half of the envelope; exported so clients and
@@ -107,6 +111,8 @@ func NewServerWith(e *Engine, sc ServerConfig) http.Handler {
 	route("DELETE /v1/jobs/{id}", "jobs.cancel", "", s.cancel)
 	route("GET /v1/jobs/{id}/trace", "jobs.trace", "", s.trace)
 	route("GET /v1/jobs/{id}/events", "jobs.events", "", s.jobEvents)
+	route("GET /v1/cache/{key...}", "cache.get", "", s.cacheGet)
+	route("PUT /v1/cache/{key...}", "cache.put", "", s.cachePut)
 	route("GET /v1/healthz", "healthz", "", s.healthz)
 	route("GET /v1/metrics", "metrics", "", s.metricsProm)
 	route("GET /v1/metrics.json", "metrics.json", "", s.metricsJSON)
@@ -272,6 +278,51 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 	}
 	canceled := s.e.Cancel(id)
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "canceled": canceled})
+}
+
+// maxCachePayload bounds PUT /v1/cache bodies (matches the
+// coordinator's proxy body cap).
+const maxCachePayload = 64 << 20
+
+// cacheGet serves the raw result JSON cached under a key, from the
+// memory LRU or the durable store — the source side of cluster
+// replication and read-repair.
+func (s *server) cacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	payload, ok := s.e.CachedResult(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no cached result for "+key, 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload)
+}
+
+// cachePut installs an externally computed result under a key — the
+// sink side of cluster replication (the coordinator copies completed
+// results to the ring successor). The payload must be a Result whose
+// cache_key matches the path.
+func (s *server) cachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxCachePayload+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, "read body: "+err.Error(), 0)
+		return
+	}
+	if len(body) > maxCachePayload {
+		writeError(w, http.StatusRequestEntityTooLarge, CodeInvalidSpec, "result payload too large", 0)
+		return
+	}
+	if err := s.e.InstallResult(key, body); err != nil {
+		if errors.Is(err, ErrNoStore) {
+			writeError(w, http.StatusNotImplemented, CodeNoStore, err.Error(), 0)
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error(), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "installed": true})
 }
 
 func (s *server) trace(w http.ResponseWriter, r *http.Request) {

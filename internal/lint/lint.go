@@ -151,6 +151,10 @@ type Config struct {
 	// EnginePkgs are the packages whose HTTP handlers must answer
 	// errors through the unified envelope (errenvelope analyzer).
 	EnginePkgs []string
+	// DurablePkgs are the packages whose on-disk writes must survive a
+	// crash: every os.Rename there needs a following parent-directory
+	// fsync (fsyncdir analyzer).
+	DurablePkgs []string
 	// ObsPkg is the import path of the observability package whose
 	// metric constructors and StartSpan the obs analyzers recognize.
 	ObsPkg string
@@ -177,6 +181,10 @@ func DefaultConfig() *Config {
 		EnginePkgs: []string{
 			"repro/internal/cluster",
 			"repro/internal/engine",
+		},
+		DurablePkgs: []string{
+			"repro/internal/journal",
+			"repro/internal/store",
 		},
 		ObsPkg: "repro/internal/obs",
 	}
@@ -206,6 +214,11 @@ func (c *Config) Engine(pkg *Package) bool {
 	return matchesAny(pkg.PkgPath, c.EnginePkgs)
 }
 
+// Durable reports whether pkg is under crash-durability discipline.
+func (c *Config) Durable(pkg *Package) bool {
+	return matchesAny(pkg.PkgPath, c.DurablePkgs)
+}
+
 // Analyzers returns every analyzer in stable (presentation) order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -217,6 +230,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerMetricName,
 		AnalyzerSpanEnd,
 		AnalyzerErrEnvelope,
+		AnalyzerFsyncDir,
 	}
 }
 

@@ -19,7 +19,7 @@ import (
 var fixtureNames = []string{
 	"rand", "timenow", "maporder", "locks",
 	"gofunc", "metricname", "spanend", "errenvelope",
-	"coordenvelope",
+	"coordenvelope", "fsyncdir",
 }
 
 const fixturePathPrefix = "repro/internal/lint/testdata/src/"
@@ -77,7 +77,8 @@ func loadFixtures(t *testing.T) ([]*lint.Package, *lint.Config) {
 			fixturePathPrefix + "errenvelope",
 			fixturePathPrefix + "coordenvelope",
 		},
-		ObsPkg: "repro/internal/obs",
+		DurablePkgs: []string{fixturePathPrefix + "fsyncdir"},
+		ObsPkg:      "repro/internal/obs",
 	}
 	return fixtures, cfg
 }

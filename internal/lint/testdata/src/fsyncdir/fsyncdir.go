@@ -1,0 +1,61 @@
+// Package fsyncdirfix is the pdflint fixture for the fsyncdir
+// analyzer: os.Rename in a durable package must be followed by a
+// parent-directory fsync in the same function frame.
+package fsyncdirfix
+
+import "os"
+
+// syncDir is the project's directory-fsync convention.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// InstallGood is the full atomic-install idiom: rename then sync the
+// parent directory.
+func InstallGood(tmp, final, dir string) error {
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// InstallMethodSyncGood accepts the convention through a method call.
+type journal struct{ dir string }
+
+func (j *journal) syncDir() error { return syncDir(j.dir) }
+
+func (j *journal) rotate(tmp, final string) error {
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return j.syncDir()
+}
+
+// InstallBad renames without ever syncing the directory: a crash can
+// undo the rename after the caller was told it succeeded.
+func InstallBad(tmp, final string) error {
+	return os.Rename(tmp, final) // want `os.Rename on the durability path is not followed by a parent-directory fsync`
+}
+
+// SyncBeforeBad syncs the directory before the rename, which protects
+// nothing: the ordering is what makes the entry durable.
+func SyncBeforeBad(tmp, final, dir string) error {
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // want `os.Rename on the durability path is not followed by a parent-directory fsync`
+}
+
+// LiteralFrameBad pairs per function frame: the sync lives in a
+// different frame (a deferred literal has its own), so the rename in
+// the literal is unprotected.
+func LiteralFrameBad(tmp, final, dir string) func() error {
+	return func() error {
+		return os.Rename(tmp, final) // want `os.Rename on the durability path is not followed by a parent-directory fsync`
+	}
+}

@@ -33,3 +33,23 @@ func BadGrammar() {
 func BadDynamic(kind string) {
 	obs.NewCounterFunc("pdfd_"+kind+"_total", "Dynamic.", func() float64 { return 0 }) // want `metric name must be a constant-foldable string`
 }
+
+// GoodStoreFamily mirrors the durable-store registration sites: a
+// counter-forwarding family plus entry/byte gauges, all with literal
+// names.
+func GoodStoreFamily() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.MustRegister(
+		obs.NewCounterFunc("pdfd_fixture_store_hits_total", "Store hits.", func() float64 { return 0 }),
+		obs.NewCounterFunc("pdfd_fixture_store_corrupt_total", "Corrupt entries.", func() float64 { return 0 }),
+		obs.NewGaugeFunc("pdfd_fixture_store_entries", "Entries resident.", func() float64 { return 0 }),
+		obs.NewGaugeFunc("pdfd_fixture_store_bytes", "Payload bytes resident.", func() float64 { return 0 }),
+	)
+	return reg
+}
+
+// BadStoreFamily assembles the store family name from a runtime
+// value, which the registry would expose unvalidated.
+func BadStoreFamily(counter string) {
+	obs.NewCounterFunc("pdfd_fixture_store_"+counter+"_total", "Dynamic family.", func() float64 { return 0 }) // want `metric name must be a constant-foldable string`
+}
