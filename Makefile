@@ -4,7 +4,7 @@ GO ?= go
 # refresh it with `make bench` and commit the new file (see PERF.md).
 BENCH_BASELINE ?= BENCH_2026-08-06.json
 
-.PHONY: build test lint race check chaos chaos-cluster obs-smoke cluster-smoke bench bench-check go-bench engine-bench
+.PHONY: build test lint race check chaos chaos-cluster obs-smoke cluster-smoke tenant-smoke bench bench-check go-bench engine-bench
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,13 @@ obs-smoke:
 cluster-smoke:
 	$(GO) test -race -count=1 -run 'TestClusterSmoke' -v ./internal/cli/
 
+# Tenant smoke: boot pdfd with a -tenants roster file, prove bearer
+# auth (401), per-tenant quota backpressure (429 + shed counters),
+# tenant-labelled health/metrics, and the legacy-route sunset with its
+# -legacy-routes escape hatch.
+tenant-smoke:
+	$(GO) test -race -count=1 -run 'TestTenantSmoke' -v ./internal/cli/
+
 # The CI gate: vet + build + full suite under -race + the performance
 # regression gate against the committed baseline.
 check:
@@ -61,6 +68,7 @@ check:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) cluster-smoke
+	$(MAKE) tenant-smoke
 	$(MAKE) chaos-cluster
 	$(MAKE) bench-check
 

@@ -54,6 +54,9 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 		storeBytes = fs.Int64("store-bytes", store.DefaultMaxBytes, "durable store payload byte cap before LRU eviction (negative = unbounded)")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful shutdown: how long running jobs may finish after a signal")
 
+		tenantsFile  = fs.String("tenants", "", `tenant roster JSON file ({"tenants":[{"name":...,"key":...,"weight":...,"queue_depth":...,"max_inflight":...}]}); enables per-tenant fair scheduling, quotas and (with keys) bearer auth`)
+		legacyRoutes = fs.Bool("legacy-routes", false, "resurrect the sunset unversioned routes (/jobs, /healthz, /metrics) for one release")
+
 		coordinator = fs.Bool("coordinator", false, "run as a cluster coordinator fronting -backends instead of a local engine")
 		backendsArg = fs.String("backends", "", "coordinator: comma-separated backends, each name=url or a bare url (auto-named b0, b1, ...)")
 		healthIvl   = fs.Duration("health-interval", 2*time.Second, "coordinator: backend health probe interval")
@@ -64,8 +67,21 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	log := obs.NewLogger(stdout, *logFormat, *logLevel)
+	var tenants []engine.TenantConfig
+	if *tenantsFile != "" {
+		f, err := os.Open(*tenantsFile)
+		if err != nil {
+			return fmt.Errorf("-tenants: %w", err)
+		}
+		tenants, err = engine.ParseTenants(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("-tenants %s: %w", *tenantsFile, err)
+		}
+		log.Info("tenant roster loaded", "file", *tenantsFile, "tenants", len(tenants))
+	}
 	if *coordinator {
-		return runCoordinator(*addr, *debugAddr, *backendsArg, *healthIvl, *vnodes, *replication, log)
+		return runCoordinator(*addr, *debugAddr, *backendsArg, *healthIvl, *vnodes, *replication, tenants, log)
 	}
 	// The flag speaks operator language (0 = off); the engine uses a
 	// negative limit for "no trace" and 0 for its own default.
@@ -76,6 +92,7 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 		Workers:        *workers,
 		SimWorkers:     *simWorkers,
 		QueueDepth:     *queue,
+		Tenants:        tenants,
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *timeout,
 		MaxRetries:     *maxRetries,
@@ -122,7 +139,7 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	log.Info("pdfd listening", "addr", ln.Addr().String())
-	srv := &http.Server{Handler: engine.NewServerWith(eng, engine.ServerConfig{Logger: log})}
+	srv := &http.Server{Handler: engine.NewServerWith(eng, engine.ServerConfig{Logger: log, LegacyRoutes: *legacyRoutes})}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -177,7 +194,7 @@ func PDFD(args []string, stdout, stderr io.Writer) error {
 // consistent hashing on each job's SpecDigest. It blocks until the
 // listener fails or a SIGINT / SIGTERM arrives; shutdown stops the
 // listener, then the health loops.
-func runCoordinator(addr, debugAddr, backendsArg string, healthIvl time.Duration, vnodes, replication int, log *slog.Logger) error {
+func runCoordinator(addr, debugAddr, backendsArg string, healthIvl time.Duration, vnodes, replication int, tenants []engine.TenantConfig, log *slog.Logger) error {
 	confs, err := parseBackends(backendsArg)
 	if err != nil {
 		return err
@@ -187,6 +204,7 @@ func runCoordinator(addr, debugAddr, backendsArg string, healthIvl time.Duration
 		VNodes:            vnodes,
 		HealthInterval:    healthIvl,
 		ReplicationFactor: replication,
+		Tenants:           tenants,
 		Logger:            log,
 	})
 	if err != nil {

@@ -172,7 +172,7 @@ func TestPDFDStoreWarmRestartKill9(t *testing.T) {
 	}
 
 	// Zero re-simulation for the warm specs: every hit came from disk.
-	resp, err := http.Get(base2 + "/metrics")
+	resp, err := http.Get(base2 + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -109,7 +109,7 @@ func TestPDFDLifecycleWithJournal(t *testing.T) {
 		t.Errorf("fresh journal replay record missing:\n%s", out.String())
 	}
 
-	resp, err := http.Post(base+"/jobs", "application/json",
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
 		strings.NewReader(`{"kind":"enrich","circuit":"s27","np0":10,"seed":1}`))
 	if err != nil {
 		t.Fatal(err)
@@ -124,7 +124,7 @@ func TestPDFDLifecycleWithJournal(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted || v.ID == "" {
 		t.Fatalf("submit = %d %+v", resp.StatusCode, v)
 	}
-	resp, err = http.Get(base + "/jobs/" + v.ID + "?wait=30s")
+	resp, err = http.Get(base + "/v1/jobs/" + v.ID + "?wait=30s")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestObsSmoke(t *testing.T) {
 	}
 
 	// /metrics: Prometheus text with at least one coherent histogram.
-	resp, err = http.Get(base + "/metrics")
+	resp, err = http.Get(base + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,7 +45,34 @@ type backend struct {
 	// consecFails is owned by the backend's single health goroutine.
 	consecFails int
 
+	// tenantMu guards tenants, the per-tenant queue depths from the
+	// backend's last /v1/healthz body (written by the health loop, read
+	// by the coordinator's health aggregation).
+	tenantMu sync.Mutex
+	tenants  map[string]int
+
 	brk breaker
+}
+
+// setTenants replaces the backend's per-tenant depth snapshot.
+func (b *backend) setTenants(m map[string]int) {
+	b.tenantMu.Lock()
+	b.tenants = m
+	b.tenantMu.Unlock()
+}
+
+// tenantDepths copies the backend's per-tenant depth snapshot.
+func (b *backend) tenantDepths() map[string]int {
+	b.tenantMu.Lock()
+	defer b.tenantMu.Unlock()
+	if len(b.tenants) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(b.tenants))
+	for k, v := range b.tenants {
+		out[k] = v
+	}
+	return out
 }
 
 func newBackend(name, baseURL string, brkThreshold int, brkCooldown time.Duration) *backend {

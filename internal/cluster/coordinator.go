@@ -89,6 +89,14 @@ type Config struct {
 	// marked down and removed from the ring; 0 uses 3.
 	DownAfter int
 
+	// Tenants is the coordinator's tenant roster: entries with bearer
+	// keys turn on auth for the /v1 job routes (same contract as the
+	// engine server's -tenants). The coordinator authenticates at the
+	// edge and forwards the resolved identity to backends in the
+	// X-Pdfd-Tenant header, so backends themselves can run unkeyed.
+	// Empty disables auth and forwards whatever tenant each Spec names.
+	Tenants []engine.TenantConfig
+
 	// ReplicationFactor is the number of backends each completed
 	// result is stored on: the executing backend plus enough
 	// successors on the static full ring to reach this count. A
@@ -340,6 +348,14 @@ func (c *Coordinator) Submit(ctx context.Context, spec engine.Spec) (SubmitResul
 	if err != nil {
 		return SubmitResult{}, &RoutedError{Status: http.StatusBadRequest, Code: "invalid_spec", Message: err.Error()}
 	}
+	// The forwarded request carries the tenant the coordinator resolved
+	// (or the spec named), so unkeyed backends enqueue it on the right
+	// tenant queue.
+	tenant := spec.Tenant
+	if tenant == "" {
+		tenant = engine.DefaultTenant
+	}
+	hdr := http.Header{engine.TenantHeader: []string{tenant}}
 	chain := c.ownerChain(digest)
 	if len(chain) == 0 {
 		return SubmitResult{}, &RoutedError{
@@ -355,7 +371,7 @@ func (c *Coordinator) Submit(ctx context.Context, spec engine.Spec) (SubmitResul
 			continue
 		}
 		tried++
-		res, err := c.forwardSubmit(ctx, b, body)
+		res, err := c.forwardSubmit(ctx, b, body, hdr)
 		if err != nil {
 			c.log.Warn("submit forward failed", "backend", b.name, "error", err.Error())
 			continue // next ring successor
@@ -368,10 +384,10 @@ func (c *Coordinator) Submit(ctx context.Context, spec engine.Spec) (SubmitResul
 			// The chosen backend shed the job: least-loaded spillover.
 			c.metrics.sheds.With(b.name).Inc()
 			if spill := c.spillTarget(b.name); spill != nil {
-				sres, serr := c.forwardSubmit(ctx, spill, body)
+				sres, serr := c.forwardSubmit(ctx, spill, body, hdr)
 				if serr == nil && sres.Status == http.StatusAccepted {
 					c.metrics.spillovers.Add(1)
-					return c.acceptedReplicating(sres, Route{Backend: spill.name, Owner: owner, Affinity: "spillover"}, digest, spec.NoCache)
+					return c.acceptedTenant(sres, Route{Backend: spill.name, Owner: owner, Affinity: "spillover"}, digest, spec.NoCache, tenant)
 				}
 			}
 			// No spill target (or it shed too): relay the 503 envelope.
@@ -379,7 +395,7 @@ func (c *Coordinator) Submit(ctx context.Context, spec engine.Spec) (SubmitResul
 			return res, nil
 		}
 		if res.Status == http.StatusAccepted {
-			return c.acceptedReplicating(res, Route{Backend: b.name, Owner: owner, Affinity: affinity}, digest, spec.NoCache)
+			return c.acceptedTenant(res, Route{Backend: b.name, Owner: owner, Affinity: affinity}, digest, spec.NoCache, tenant)
 		}
 		// Any other backend answer (invalid_spec, engine_closed):
 		// relay verbatim, no retry elsewhere — the spec would fail
@@ -399,14 +415,17 @@ func (c *Coordinator) Submit(ctx context.Context, spec engine.Spec) (SubmitResul
 	}
 }
 
-// acceptedReplicating is accepted plus the replication hook: once the
-// job is acknowledged, a watcher follows it to completion and copies
-// the result to the replica set (no-op when replication is disabled
-// or the spec bypasses the cache).
-func (c *Coordinator) acceptedReplicating(res SubmitResult, route Route, digest string, noCache bool) (SubmitResult, error) {
+// acceptedTenant is accepted plus the per-tenant routing counter and
+// the replication hook: once the job is acknowledged, a watcher
+// follows it to completion and copies the result to the replica set
+// (no-op when replication is disabled or the spec bypasses the cache).
+func (c *Coordinator) acceptedTenant(res SubmitResult, route Route, digest string, noCache bool, tenant string) (SubmitResult, error) {
 	out, err := c.accepted(res, route)
-	if err == nil && c.repl != nil && !noCache {
-		c.repl.watch(route.Backend, strings.TrimPrefix(out.View.ID, route.Backend+"/"), digest)
+	if err == nil {
+		c.metrics.tenantRouted.With(tenant, route.Affinity).Inc()
+		if c.repl != nil && !noCache {
+			c.repl.watch(route.Backend, strings.TrimPrefix(out.View.ID, route.Backend+"/"), digest)
+		}
 	}
 	return out, err
 }
@@ -449,10 +468,10 @@ func (c *Coordinator) spillTarget(exclude string) *backend {
 // forwardSubmit POSTs the spec to one backend, retrying transient
 // transport errors under the configured policy. An HTTP response of
 // any status is a success at this layer.
-func (c *Coordinator) forwardSubmit(ctx context.Context, b *backend, body []byte) (SubmitResult, error) {
+func (c *Coordinator) forwardSubmit(ctx context.Context, b *backend, body []byte, fwdHdr http.Header) (SubmitResult, error) {
 	var res SubmitResult
 	err := retry.Do(ctx, c.cfg.RetryPolicy, nil, nil, func(attempt int) error {
-		status, respBody, hdr, err := c.do(ctx, b, http.MethodPost, "/v1/jobs", "jobs.submit", body, nil)
+		status, respBody, hdr, err := c.do(ctx, b, http.MethodPost, "/v1/jobs", "jobs.submit", body, fwdHdr)
 		if err != nil {
 			return err
 		}
@@ -534,6 +553,9 @@ type BackendStatus struct {
 	QueueDepth    int    `json:"queue_depth"`
 	Inflight      int    `json:"inflight"`
 	ProxyInflight int64  `json:"proxy_inflight"`
+	// Tenants is the backend's per-tenant queue depths from its last
+	// health report (absent until the first successful probe).
+	Tenants map[string]int `json:"tenants,omitempty"`
 }
 
 // Backends snapshots every configured backend's status, keyed by name.
@@ -546,6 +568,19 @@ func (c *Coordinator) Backends() map[string]BackendStatus {
 			QueueDepth:    int(b.queueDepth.Load()),
 			Inflight:      int(b.inflight.Load()),
 			ProxyInflight: b.proxied.Load(),
+			Tenants:       b.tenantDepths(),
+		}
+	}
+	return out
+}
+
+// TenantDepths aggregates per-tenant queue depths across the fleet
+// (each backend's last health report summed by tenant name).
+func (c *Coordinator) TenantDepths() map[string]int {
+	out := make(map[string]int)
+	for _, name := range c.order {
+		for tenant, n := range c.backends[name].tenantDepths() {
+			out[tenant] += n
 		}
 	}
 	return out

@@ -65,6 +65,7 @@ func (c *Coordinator) probe(b *backend) {
 	if parseOK {
 		b.queueDepth.Store(int64(h.QueueDepth))
 		b.inflight.Store(int64(h.Inflight))
+		b.setTenants(h.Tenants)
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK && parseOK:

@@ -12,6 +12,9 @@ type metrics struct {
 	// routed counts accepted submissions by backend and affinity
 	// (owner / failover / spillover).
 	routed *obs.CounterVec
+	// tenantRouted counts accepted submissions by tenant and affinity
+	// — the fleet-level mirror of the engines' pdfd_tenant_* families.
+	tenantRouted *obs.CounterVec
 	// sheds counts 503 answers to forwarded submissions, per backend.
 	sheds *obs.CounterVec
 	// backendErrors counts transport failures (no HTTP response), per
@@ -44,6 +47,9 @@ func newClusterMetrics(reg *obs.Registry, c *Coordinator) *metrics {
 		routed: obs.NewCounterVec("pdfd_cluster_jobs_routed_total",
 			"Accepted submissions, by backend and routing affinity (owner, failover, spillover).",
 			"backend", "affinity"),
+		tenantRouted: obs.NewCounterVec("pdfd_cluster_tenant_routed_total",
+			"Accepted submissions, by tenant and routing affinity.",
+			"tenant", "affinity"),
 		sheds: obs.NewCounterVec("pdfd_cluster_backend_sheds_total",
 			"Forwarded submissions a backend shed with 503.", "backend"),
 		backendErrors: obs.NewCounterVec("pdfd_cluster_backend_errors_total",
@@ -66,7 +72,7 @@ func newClusterMetrics(reg *obs.Registry, c *Coordinator) *metrics {
 			"Coordinator requests currently in flight to the backend.", "backend"),
 	}
 	reg.MustRegister(
-		m.routed, m.sheds, m.backendErrors, m.breakerOpens,
+		m.routed, m.tenantRouted, m.sheds, m.backendErrors, m.breakerOpens,
 		m.healthTransitions, m.proxySeconds,
 		m.backendUp, m.backendDraining, m.backendQueueDepth,
 		m.backendInflight, m.proxyInflight,

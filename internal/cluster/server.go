@@ -59,6 +59,9 @@ type HealthView struct {
 	Status   string                   `json:"status"`
 	Healthy  int                      `json:"healthy"`
 	Backends map[string]BackendStatus `json:"backends"`
+	// Tenants sums per-tenant queue depths across the fleet, from each
+	// backend's last health report.
+	Tenants map[string]int `json:"tenants"`
 }
 
 // NewServer returns the coordinator's HTTP handler — the same /v1
@@ -78,9 +81,15 @@ type HealthView struct {
 // straight back into the GET/DELETE routes. Errors use the engine's
 // envelope with two added codes: no_backend and backend_down.
 func NewServer(c *Coordinator) http.Handler {
-	s := &clusterServer{c: c}
+	s := &clusterServer{c: c, auth: engine.NewTenantAuth(c.cfg.Tenants)}
 	mux := http.NewServeMux()
+	// route registers the job routes behind tenant auth (a no-op
+	// resolver when Config.Tenants carries no keys); open keeps the
+	// liveness and metrics planes scrapeable without credentials.
 	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, obs.Middleware(name, c.cfg.Logger, c.httpMetrics, s.auth.Wrap(h)))
+	}
+	open := func(pattern, name string, h http.HandlerFunc) {
 		mux.Handle(pattern, obs.Middleware(name, c.cfg.Logger, c.httpMetrics, h))
 	}
 	route("POST /v1/jobs", "jobs.submit", s.submit)
@@ -89,14 +98,15 @@ func NewServer(c *Coordinator) http.Handler {
 	route("DELETE /v1/jobs/{backend}/{id}", "jobs.cancel", s.proxyCancel)
 	route("GET /v1/jobs/{backend}/{id}/trace", "jobs.trace", s.proxyTrace)
 	route("GET /v1/jobs/{backend}/{id}/events", "jobs.events", s.proxyEvents)
-	route("GET /v1/healthz", "healthz", s.healthz)
-	route("GET /v1/metrics", "metrics", s.metricsProm)
-	route("GET /v1/metrics.json", "metrics.json", s.metricsJSON)
+	open("GET /v1/healthz", "healthz", s.healthz)
+	open("GET /v1/metrics", "metrics", s.metricsProm)
+	open("GET /v1/metrics.json", "metrics.json", s.metricsJSON)
 	return mux
 }
 
 type clusterServer struct {
-	c *Coordinator
+	c    *Coordinator
+	auth *engine.TenantAuth
 }
 
 func (s *clusterServer) submit(w http.ResponseWriter, r *http.Request) {
@@ -106,6 +116,10 @@ func (s *clusterServer) submit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, engine.CodeInvalidSpec, "bad job spec: "+err.Error(), 0)
 		return
+	}
+	// The authenticated tenant owns the job, whatever the spec claims.
+	if t := engine.RequestTenant(r.Context()); t != "" {
+		spec.Tenant = t
 	}
 	res, err := s.c.Submit(r.Context(), spec)
 	if err != nil {
@@ -177,6 +191,9 @@ func (s *clusterServer) batch(w http.ResponseWriter, r *http.Request) {
 // submitOne routes one batch entry, folding every failure mode into
 // the per-item envelope.
 func (s *clusterServer) submitOne(r *http.Request, i int, spec engine.Spec) BatchItem {
+	if t := engine.RequestTenant(r.Context()); t != "" {
+		spec.Tenant = t
+	}
 	res, err := s.c.Submit(r.Context(), spec)
 	if err != nil {
 		var re *RoutedError
@@ -358,7 +375,7 @@ func (s *clusterServer) proxyEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *clusterServer) healthz(w http.ResponseWriter, r *http.Request) {
-	hv := HealthView{Status: "ok", Healthy: s.c.Healthy(), Backends: s.c.Backends()}
+	hv := HealthView{Status: "ok", Healthy: s.c.Healthy(), Backends: s.c.Backends(), Tenants: s.c.TenantDepths()}
 	if hv.Healthy == 0 {
 		hv.Status = CodeNoBackend
 		w.Header().Set("Retry-After", "1")

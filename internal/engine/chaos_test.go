@@ -345,9 +345,9 @@ func TestChaosOverloadShedAndRecover(t *testing.T) {
 	}
 
 	// HTTP surface: submit → 503 + Retry-After, healthz degraded.
-	resp, body := postJSON(t, srv.URL+"/jobs", map[string]any{"kind": "enrich", "circuit": "s27", "np0": 10})
+	resp, body := postJSON(t, srv.URL+"/v1/jobs", map[string]any{"kind": "enrich", "circuit": "s27", "np0": 10})
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("overloaded POST /jobs = %d, want 503 (%s)", resp.StatusCode, body)
+		t.Errorf("overloaded POST /v1/jobs = %d, want 503 (%s)", resp.StatusCode, body)
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("503 without a Retry-After header")
@@ -356,7 +356,7 @@ func TestChaosOverloadShedAndRecover(t *testing.T) {
 		t.Errorf("503 content type = %q", ct)
 	}
 	var health map[string]any
-	if hresp := getJSON(t, srv.URL+"/healthz", &health); hresp.StatusCode != http.StatusServiceUnavailable || health["status"] != "overloaded" {
+	if hresp := getJSON(t, srv.URL+"/v1/healthz", &health); hresp.StatusCode != http.StatusServiceUnavailable || health["status"] != "overloaded" {
 		t.Errorf("degraded healthz = %d %v, want 503 overloaded", hresp.StatusCode, health)
 	}
 
@@ -375,7 +375,7 @@ func TestChaosOverloadShedAndRecover(t *testing.T) {
 	if _, err := e.Submit(s27Spec(KindGenerate)); err != nil {
 		t.Errorf("Submit after recovery = %v", err)
 	}
-	if hresp := getJSON(t, srv.URL+"/healthz", &health); hresp.StatusCode != http.StatusOK {
+	if hresp := getJSON(t, srv.URL+"/v1/healthz", &health); hresp.StatusCode != http.StatusOK {
 		t.Errorf("healthz after recovery = %d", hresp.StatusCode)
 	}
 }

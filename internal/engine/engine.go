@@ -32,6 +32,14 @@ var (
 	ErrBusy       = errors.New("engine: queue full")
 	ErrOverloaded = errors.New("engine: overloaded, retry later")
 	ErrUnknownJob = errors.New("engine: unknown job")
+	// ErrQuotaExceeded rejects a submission whose tenant is over its
+	// configured queue bound (multi-tenant mode; HTTP 429). The
+	// anonymous default tenant of an unconfigured engine keeps the
+	// seed-era ErrBusy instead.
+	ErrQuotaExceeded = errors.New("engine: tenant queue quota exceeded, retry later")
+	// ErrUnknownTenant rejects a submission naming a tenant the engine
+	// was not configured with (multi-tenant mode; HTTP 401).
+	ErrUnknownTenant = errors.New("engine: unknown tenant")
 )
 
 // PanicError is a panic captured from a job attempt by the engine's
@@ -52,9 +60,19 @@ type Config struct {
 	// SimWorkers is the default fault-simulation shard count of jobs
 	// that do not set Spec.Workers; 0 means serial.
 	SimWorkers int
-	// QueueDepth bounds the number of queued jobs; Submit returns
-	// ErrBusy beyond it. 0 means 64.
+	// QueueDepth bounds each tenant queue that does not set its own
+	// TenantConfig.QueueDepth; beyond it Submit returns ErrBusy
+	// (anonymous mode) or ErrQuotaExceeded (configured tenants).
+	// 0 means 64.
 	QueueDepth int
+
+	// Tenants declares the engine's tenants: per-tenant queue bounds,
+	// deficit-round-robin weights, max-inflight quotas and the bearer
+	// keys the server authenticates with. Empty runs the engine in
+	// anonymous mode: every job shares the DefaultTenant queue unless
+	// its Spec names another (admitted with default bounds), and
+	// nothing requires auth.
+	Tenants []TenantConfig
 	// CacheSize bounds the result cache entry count; 0 means 128.
 	CacheSize int
 	// DefaultTimeout bounds jobs that do not set Spec.TimeoutMS;
@@ -132,7 +150,7 @@ type Engine struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
-	queue  chan *Job
+	sched  *sched
 	wg     sync.WaitGroup
 
 	overloaded atomic.Bool
@@ -167,15 +185,16 @@ func New(cfg Config) *Engine {
 	if logger == nil {
 		logger = obs.NopLogger()
 	}
+	m := newMetrics()
 	e := &Engine{
 		cfg:          cfg,
-		metrics:      newMetrics(),
+		metrics:      m,
 		cache:        newCache(cfg.CacheSize),
 		compactEvery: compactEvery,
 		log:          logger,
 		ctx:          ctx,
 		cancel:       cancel,
-		queue:        make(chan *Job, cfg.QueueDepth),
+		sched:        newSched(cfg, m.tenantQueued, m.tenantRunning),
 		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
 		jobs:         make(map[string]*Job),
 		events:       events.NewBus(cfg.EventHistory),
@@ -203,8 +222,10 @@ func (e *Engine) Registry() *obs.Registry { return e.registry }
 func (e *Engine) Events() *events.Bus { return e.events }
 
 // Submit validates and enqueues a job, returning it immediately.
-// Past the shed watermark it rejects with ErrOverloaded; on a full
-// queue with ErrBusy.
+// Past the global shed watermark it rejects with ErrOverloaded; a
+// tenant over its own queue bound is shed with ErrQuotaExceeded
+// (configured tenants) or ErrBusy (anonymous mode); an unknown tenant
+// of a configured engine is rejected with ErrUnknownTenant.
 func (e *Engine) Submit(spec Spec) (*Job, error) {
 	spec, err := spec.normalized()
 	if err != nil {
@@ -214,8 +235,10 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 		e.updateWatermark()
 		if e.overloaded.Load() {
 			e.metrics.jobsShed.Add(1)
-			e.log.Warn("job shed", "kind", spec.Kind, "circuit", spec.Circuit,
-				"queue_depth", len(e.queue), "watermark", e.cfg.ShedWatermark)
+			e.metrics.tenantShed.With(spec.Tenant, "overloaded").Add(1)
+			e.sched.recordShed(spec.Tenant)
+			e.log.Warn("job shed", "kind", spec.Kind, "circuit", spec.Circuit, "tenant", spec.Tenant,
+				"queue_depth", e.sched.len(), "watermark", e.cfg.ShedWatermark)
 			return nil, ErrOverloaded
 		}
 	}
@@ -237,21 +260,30 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 	j.initTrace(e.cfg.TraceSpanLimit,
 		obs.String("job_id", j.id),
 		obs.String("kind", string(spec.Kind)),
-		obs.String("circuit", spec.Circuit))
+		obs.String("circuit", spec.Circuit),
+		obs.String("tenant", spec.Tenant),
+		obs.String("priority", spec.Priority))
 	// Registration and enqueue share one critical section: a rejected
-	// job leaves no trace in jobs/order, and a job never lands in the
-	// queue after Close (which flips closed under the same mutex) has
-	// started draining. jobsSubmitted is bumped before the send so the
-	// derived queued gauge never goes negative if a worker finishes the
-	// job immediately.
+	// job leaves no trace in jobs/order, and a job never lands in a
+	// tenant queue after Close (which flips closed under the same
+	// mutex) has started draining. jobsSubmitted is bumped before the
+	// enqueue so the derived queued gauge never goes negative if a
+	// worker finishes the job immediately.
 	e.metrics.jobsSubmitted.Add(1)
-	select {
-	case e.queue <- j:
-	default:
+	if err := e.sched.enqueue(j); err != nil {
 		e.metrics.jobsSubmitted.Add(-1)
 		e.seq--
 		e.mu.Unlock()
-		return nil, ErrBusy
+		switch {
+		case errors.Is(err, ErrQuotaExceeded):
+			e.metrics.jobsShed.Add(1)
+			e.metrics.tenantShed.With(spec.Tenant, "quota").Add(1)
+			e.log.Warn("job shed", "kind", spec.Kind, "circuit", spec.Circuit,
+				"tenant", spec.Tenant, "reason", "quota")
+		case errors.Is(err, ErrBusy):
+			e.metrics.tenantShed.With(spec.Tenant, "queue_full").Add(1)
+		}
+		return nil, err
 	}
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
@@ -259,12 +291,14 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 	// Journaled outside the lock: the fsync must not serialize
 	// submissions. A worker may journal this job's OpStarted first;
 	// replay is order-insensitive.
-	e.journalAppend(journal.Record{Op: journal.OpSubmitted, JobID: j.id, Seq: j.seq, Spec: marshalSpec(spec)})
+	e.journalAppend(journal.Record{Op: journal.OpSubmitted, JobID: j.id, Seq: j.seq, Tenant: spec.Tenant, Spec: marshalSpec(spec)})
 	e.events.Publish(j.id, "queued", map[string]string{
 		"kind": string(spec.Kind), "circuit": spec.Circuit,
+		"tenant": spec.Tenant, "priority": spec.Priority,
 	})
 	e.updateWatermark()
-	e.log.Debug("job submitted", "job_id", j.id, "kind", spec.Kind, "circuit", spec.Circuit)
+	e.log.Debug("job submitted", "job_id", j.id, "kind", spec.Kind, "circuit", spec.Circuit,
+		"tenant", spec.Tenant, "priority", spec.Priority)
 	return j, nil
 }
 
@@ -285,6 +319,7 @@ func (e *Engine) afterTerminal(j *Job, st Status, err error) {
 	switch st {
 	case StatusDone:
 		e.metrics.jobsDone.Add(1)
+		e.metrics.tenantDone.With(j.spec.Tenant).Add(1)
 	case StatusFailed:
 		e.metrics.jobsFailed.Add(1)
 	case StatusCanceled:
@@ -297,12 +332,14 @@ func (e *Engine) afterTerminal(j *Job, st Status, err error) {
 		// e.g. at shutdown): its whole life was queue wait, which the
 		// "ran" series in runJob will never record.
 		e.metrics.queueSeconds.With("shed").Observe(d.Seconds())
+		e.metrics.tenantQueueWait.With(j.spec.Tenant).Observe(d.Seconds())
 	}
 	j.endQueued() // a job canceled while queued never reached runJob
 	j.endRoot(st)
 	data := map[string]string{
 		"attempts":    fmt.Sprintf("%d", j.attempts()),
 		"duration_ms": fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond)),
+		"tenant":      j.spec.Tenant,
 	}
 	if err != nil {
 		data["error"] = err.Error()
@@ -311,7 +348,7 @@ func (e *Engine) afterTerminal(j *Job, st Status, err error) {
 	e.events.CloseJob(j.id)
 	attrs := []any{
 		"job_id", j.id, "kind", j.spec.Kind, "circuit", j.spec.Circuit,
-		"status", st, "attempts", j.attempts(),
+		"tenant", j.spec.Tenant, "status", st, "attempts", j.attempts(),
 		"duration_ms", float64(d) / float64(time.Millisecond),
 	}
 	if err != nil && !errors.Is(err, context.Canceled) {
@@ -463,18 +500,24 @@ func (e *Engine) Cancel(id string) bool {
 // Metrics returns a snapshot of the engine's counters.
 func (e *Engine) Metrics() Snapshot {
 	s := e.metrics.snapshot(e.cache.Len())
-	s.QueueDepth = len(e.queue)
+	s.QueueDepth = e.sched.len()
 	s.Overloaded = e.overloaded.Load()
+	s.Tenants = e.sched.snapshot()
 	return s
 }
 
 // CacheLen returns the number of cached results.
 func (e *Engine) CacheLen() int { return e.cache.Len() }
 
-// QueueDepth returns the instantaneous run-queue occupancy. Cheap
-// enough for /healthz, which the cluster coordinator probes to rank
-// backends for least-loaded spillover.
-func (e *Engine) QueueDepth() int { return len(e.queue) }
+// QueueDepth returns the instantaneous run-queue occupancy across all
+// tenants. Cheap enough for /healthz, which the cluster coordinator
+// probes to rank backends for least-loaded spillover.
+func (e *Engine) QueueDepth() int { return e.sched.len() }
+
+// TenantDepths returns every tenant's queued-job count — the
+// per-tenant queue depths served on /v1/healthz and aggregated by the
+// cluster coordinator.
+func (e *Engine) TenantDepths() map[string]int { return e.sched.depths() }
 
 // Inflight returns the number of jobs currently executing.
 func (e *Engine) Inflight() int { return int(e.metrics.jobsRunning.Load()) }
@@ -491,7 +534,7 @@ func (e *Engine) updateWatermark() {
 	if hi <= 0 {
 		return
 	}
-	switch depth := len(e.queue); {
+	switch depth := e.sched.len(); {
 	case depth >= hi:
 		e.overloaded.Store(true)
 	case depth <= hi/2:
@@ -559,25 +602,41 @@ drain:
 	// Hard-stop whatever remains.
 	e.cancel()
 	e.wg.Wait()
-	for {
-		select {
-		case j := <-e.queue:
-			e.finish(j, StatusCanceled, nil, false, context.Canceled)
-		default:
-			return err
-		}
+	for _, j := range e.sched.drain() {
+		e.finish(j, StatusCanceled, nil, false, context.Canceled)
 	}
+	return err
 }
 
+// worker pulls jobs off the weighted-fair scheduler. A wake token
+// means "dispatchable work may exist"; the worker then drains dequeue
+// until the scheduler has nothing for it, re-signaling on the way so
+// idle workers join while a backlog remains.
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for {
 		select {
 		case <-e.ctx.Done():
 			return
-		case j := <-e.queue:
-			e.updateWatermark()
-			e.runJob(j)
+		case <-e.sched.wake:
+			for {
+				j, more := e.sched.dequeue()
+				if j == nil {
+					break
+				}
+				if more {
+					e.sched.signal()
+				}
+				e.updateWatermark()
+				e.runJob(j)
+				// The dispatch's inflight charge ends with the attempt
+				// (terminal, retry backoff, or canceled-while-queued
+				// skip); releasing may unblock a tenant at its quota.
+				e.sched.release(j.spec.Tenant)
+				if e.ctx.Err() != nil {
+					return
+				}
+			}
 		}
 	}
 }
@@ -612,6 +671,7 @@ func (e *Engine) runJob(j *Job) {
 	if first {
 		j.endQueued()
 		e.metrics.queueSeconds.With("ran").Observe(started.Sub(created).Seconds())
+		e.metrics.tenantQueueWait.With(j.spec.Tenant).Observe(started.Sub(created).Seconds())
 	}
 	// The run context keeps the engine's cancellation but gains the
 	// job's trace correlation, so every span below lands on the job
@@ -701,10 +761,10 @@ func (e *Engine) retryDelay(retryNum int) time.Duration {
 	return d
 }
 
-// requeue moves a job whose backoff expired back onto the run queue.
-// A full queue re-arms the backoff instead of dropping the job; a
-// closed engine cancels it in memory only, leaving its journal record
-// live for replay after restart.
+// requeue moves a job whose backoff expired back onto its tenant's
+// queue. A full queue re-arms the backoff instead of dropping the
+// job; a closed engine cancels it in memory only, leaving its journal
+// record live for replay after restart.
 func (e *Engine) requeue(j *Job) {
 	e.mu.Lock()
 	if e.closed {
@@ -716,15 +776,14 @@ func (e *Engine) requeue(j *Job) {
 		e.mu.Unlock()
 		return // canceled during backoff
 	}
-	select {
-	case e.queue <- j:
-		e.mu.Unlock()
-	default:
+	if err := e.sched.enqueue(j); err != nil {
 		// No room: back to the retry window, try again shortly.
 		j.swapStatus(StatusQueued, StatusRetrying)
 		e.mu.Unlock()
 		j.setRetryTimer(time.AfterFunc(e.retryDelay(1), func() { e.requeue(j) }))
+		return
 	}
+	e.mu.Unlock()
 }
 
 // journalAppend writes one lifecycle record, if a journal is
@@ -778,7 +837,7 @@ func (e *Engine) liveRecordsLocked() []journal.Record {
 		if terminal {
 			continue
 		}
-		live = append(live, journal.Record{Op: journal.OpSubmitted, JobID: j.id, Seq: j.seq, Spec: marshalSpec(j.spec)})
+		live = append(live, journal.Record{Op: journal.OpSubmitted, JobID: j.id, Seq: j.seq, Tenant: j.spec.Tenant, Spec: marshalSpec(j.spec)})
 	}
 	return live
 }
@@ -825,6 +884,7 @@ func (e *Engine) Restore(recs []journal.Record) (int, error) {
 			obs.String("job_id", j.id),
 			obs.String("kind", string(spec.Kind)),
 			obs.String("circuit", spec.Circuit),
+			obs.String("tenant", spec.Tenant),
 			obs.Bool("replayed", true))
 		e.mu.Lock()
 		if e.closed {
@@ -835,9 +895,15 @@ func (e *Engine) Restore(recs []journal.Record) (int, error) {
 			e.mu.Unlock()
 			continue
 		}
-		select {
-		case e.queue <- j:
-		default:
+		err = e.sched.enqueue(j)
+		if errors.Is(err, ErrUnknownTenant) {
+			// The tenant roster changed across the restart; don't lose
+			// the job — rehome it on the default tenant.
+			j.spec.Tenant = DefaultTenant
+			spec.Tenant = DefaultTenant
+			err = e.sched.enqueue(j)
+		}
+		if err != nil {
 			e.mu.Unlock()
 			return n, fmt.Errorf("%w: journal replay overflowed the queue after %d jobs", ErrBusy, n)
 		}
@@ -846,7 +912,8 @@ func (e *Engine) Restore(recs []journal.Record) (int, error) {
 		e.order = append(e.order, j.id)
 		e.mu.Unlock()
 		e.events.Publish(j.id, "queued", map[string]string{
-			"kind": string(spec.Kind), "circuit": spec.Circuit, "replayed": "true",
+			"kind": string(spec.Kind), "circuit": spec.Circuit,
+			"tenant": spec.Tenant, "priority": spec.Priority, "replayed": "true",
 		})
 		n++
 	}

@@ -10,11 +10,12 @@ import (
 	"time"
 )
 
-// /v1/healthz (and the legacy /healthz alias) carries both shapes: the
-// seed-era status string and the queue_depth/inflight load fields the
-// cluster coordinator ranks backends by.
+// /v1/healthz (and, under LegacyRoutes, the legacy /healthz alias)
+// carries both shapes: the seed-era status string, the
+// queue_depth/inflight load fields the cluster coordinator ranks
+// backends by, and the per-tenant queue depths.
 func TestHealthzBodyShapes(t *testing.T) {
-	_, srv := newTestServer(t)
+	_, srv := newLegacyTestServer(t)
 	for _, path := range []string{"/v1/healthz", "/healthz"} {
 		var body map[string]any
 		resp := getJSON(t, srv.URL+path, &body)

@@ -74,6 +74,18 @@ type Spec struct {
 	// NoCache bypasses the result cache (both lookup and store).
 	NoCache bool `json:"no_cache,omitempty"`
 
+	// Tenant names the queue the job is scheduled under; empty means
+	// the anonymous DefaultTenant. The server overwrites it with the
+	// authenticated tenant when bearer auth is configured. Tenant and
+	// Priority are scheduling identity, not computation identity: both
+	// are excluded from SpecDigest, so equal computations share cache
+	// entries and cluster routing across tenants.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority picks the band inside the tenant's queue: "interactive"
+	// (the default) dispatches strictly before "batch", letting bulk
+	// sweeps ride behind latency-sensitive work.
+	Priority string `json:"priority,omitempty"`
+
 	// Circ lets programmatic callers pass an already-built circuit
 	// (e.g. one parsed from a .bench file); HTTP callers name circuits
 	// via Circuit.
@@ -104,6 +116,19 @@ func (s Spec) normalized() (Spec, error) {
 	}
 	if s.NP < 0 || s.NP0 < 0 || s.Workers < 0 || s.TimeoutMS < 0 || s.MaxRetries < 0 {
 		return s, fmt.Errorf("engine: negative spec parameter")
+	}
+	if s.Tenant == "" {
+		s.Tenant = DefaultTenant
+	}
+	if !ValidTenantName(s.Tenant) {
+		return s, fmt.Errorf("engine: bad tenant name %q", s.Tenant)
+	}
+	switch s.Priority {
+	case "":
+		s.Priority = PriorityInteractive
+	case PriorityInteractive, PriorityBatch:
+	default:
+		return s, fmt.Errorf("engine: unknown priority %q (want %q or %q)", s.Priority, PriorityInteractive, PriorityBatch)
 	}
 	return s, nil
 }
@@ -254,9 +279,12 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 
 // JobView is a consistent snapshot of a job, safe to marshal.
 type JobView struct {
-	ID       string `json:"id"`
-	Kind     Kind   `json:"kind"`
-	Circuit  string `json:"circuit"`
+	ID      string `json:"id"`
+	Kind    Kind   `json:"kind"`
+	Circuit string `json:"circuit"`
+	// Tenant / Priority are the job's scheduling identity (see Spec).
+	Tenant   string `json:"tenant"`
+	Priority string `json:"priority"`
 	Status   Status `json:"status"`
 	Error    string `json:"error,omitempty"`
 	CacheHit bool   `json:"cache_hit"`
@@ -295,6 +323,8 @@ func (j *Job) ViewLite() JobView {
 		ID:         j.id,
 		Kind:       j.spec.Kind,
 		Circuit:    j.spec.Circuit,
+		Tenant:     j.spec.Tenant,
+		Priority:   j.spec.Priority,
 		Status:     j.status,
 		CacheHit:   j.cacheHit,
 		Attempts:   j.attempt,

@@ -53,6 +53,17 @@ type Metrics struct {
 	secondaryOutcomes *obs.CounterVec
 	regenPerTest      *obs.Histogram
 
+	// The pdfd_tenant_* families of the multi-tenant scheduler: live
+	// queue depth and inflight count per tenant (kept current by the
+	// scheduler at every mutation), completed jobs, submit-time sheds
+	// by reason (quota, queue_full, overloaded), and the per-tenant
+	// queue-wait distribution.
+	tenantQueued    *obs.GaugeVec
+	tenantRunning   *obs.GaugeVec
+	tenantDone      *obs.CounterVec
+	tenantShed      *obs.CounterVec
+	tenantQueueWait *obs.HistogramVec
+
 	mu     sync.Mutex
 	stages map[string]*stageStat
 }
@@ -84,6 +95,18 @@ func newMetrics() *Metrics {
 			"set", "outcome"),
 		regenPerTest: obs.NewHistogram("pdfd_atpg_regenerations_per_test",
 			"Per-test justification regenerations (non-cheap secondary accepts).", RegenBuckets),
+		tenantQueued: obs.NewGaugeVec("pdfd_tenant_queued",
+			"Queued jobs per tenant.", "tenant"),
+		tenantRunning: obs.NewGaugeVec("pdfd_tenant_running",
+			"Executing jobs per tenant.", "tenant"),
+		tenantDone: obs.NewCounterVec("pdfd_tenant_jobs_done_total",
+			"Jobs that reached status done, per tenant.", "tenant"),
+		tenantShed: obs.NewCounterVec("pdfd_tenant_shed_total",
+			"Submissions shed at submit time per tenant, by reason (quota = per-tenant queue bound, queue_full = anonymous-mode bound, overloaded = global shed watermark).",
+			"tenant", "reason"),
+		tenantQueueWait: obs.NewHistogramVec("pdfd_tenant_queue_wait_seconds",
+			"Wait between submission and first run (or cancellation for jobs shed before running), per tenant.",
+			obs.DefBuckets, "tenant"),
 	}
 }
 
@@ -168,6 +191,9 @@ type Snapshot struct {
 	// Stages reports per-stage latency (prepare, generate, enrich,
 	// faultsim, simulate).
 	Stages map[string]StageSnapshot `json:"stages"`
+	// Tenants reports each tenant's live scheduler state (queued,
+	// running, sheds, weight). Filled by Engine.Metrics.
+	Tenants map[string]TenantSnapshot `json:"tenants"`
 }
 
 // buildRegistry wires the engine's counters, gauges and histograms
@@ -220,8 +246,8 @@ func buildRegistry(e *Engine) *obs.Registry {
 			}),
 		obs.NewGaugeFunc("pdfd_jobs_running", "Jobs currently executing.",
 			func() float64 { return float64(m.jobsRunning.Load()) }),
-		obs.NewGaugeFunc("pdfd_queue_depth", "Instantaneous run-queue occupancy.",
-			func() float64 { return float64(len(e.queue)) }),
+		obs.NewGaugeFunc("pdfd_queue_depth", "Instantaneous run-queue occupancy across all tenants.",
+			func() float64 { return float64(e.sched.len()) }),
 		obs.NewGaugeFunc("pdfd_overloaded", "1 while the shed watermark is tripped.",
 			func() float64 { return b2f(e.overloaded.Load()) }),
 		obs.NewGaugeFunc("pdfd_cache_entries", "Result cache occupancy.",
@@ -231,6 +257,11 @@ func buildRegistry(e *Engine) *obs.Registry {
 		m.queueSeconds,
 		m.secondaryOutcomes,
 		m.regenPerTest,
+		m.tenantQueued,
+		m.tenantRunning,
+		m.tenantDone,
+		m.tenantShed,
+		m.tenantQueueWait,
 	)
 	if st := e.cfg.Store; st != nil {
 		sm := st.MetricsRef()

@@ -31,6 +31,13 @@ const (
 	// CodeNoStore: a cache install (PUT /v1/cache/{key}) reached a
 	// backend running without a durable store (-store not set).
 	CodeNoStore = "no_store"
+	// CodeUnauthorized: bearer auth is configured (-tenants with keys)
+	// and the request carried no or an unknown credential — or named a
+	// tenant the engine does not know.
+	CodeUnauthorized = "unauthorized"
+	// CodeQuotaExceeded: the authenticated tenant is over its queue
+	// bound; per-tenant backpressure, retry after error.retry_after_ms.
+	CodeQuotaExceeded = "quota_exceeded"
 )
 
 // APIError is the error half of the envelope; exported so clients and
@@ -64,6 +71,12 @@ type ServerConfig struct {
 	// Heartbeat paces the SSE keep-alive comments of
 	// /v1/jobs/{id}/events; 0 uses 15s.
 	Heartbeat time.Duration
+	// LegacyRoutes resurrects the seed-era unversioned routes (/jobs,
+	// /jobs/{id}, /healthz, /metrics), deprecated since the /v1
+	// redesign and gone by default: without it they answer 404 with a
+	// migration message. pdfd exposes it as -legacy-routes for one
+	// release.
+	LegacyRoutes bool
 }
 
 // NewServer returns the JSON API handler served by cmd/pdfd. The
@@ -92,17 +105,23 @@ func NewServerWith(e *Engine, sc ServerConfig) http.Handler {
 	if sc.Registry == nil {
 		sc.Registry = e.Registry()
 	}
-	s := &server{e: e, cfg: sc}
+	s := &server{e: e, cfg: sc, auth: NewTenantAuth(e.cfg.Tenants)}
 	mux := http.NewServeMux()
 
-	// route registers pattern with the observability middleware;
-	// successor != "" marks the route as a deprecated alias of it.
+	// route registers pattern with tenant auth and the observability
+	// middleware; successor != "" marks the route as a deprecated
+	// alias of it.
 	route := func(pattern, name, successor string, h http.HandlerFunc) {
-		var hh http.Handler = h
+		hh := s.auth.Wrap(h)
 		if successor != "" {
 			hh = deprecated(successor, hh)
 		}
 		mux.Handle(pattern, obs.Middleware(name, sc.Logger, e.httpMetrics, hh))
+	}
+	// open registers pattern without auth: the liveness and metrics
+	// planes stay scrapeable by probes and Prometheus.
+	open := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, obs.Middleware(name, sc.Logger, e.httpMetrics, h))
 	}
 
 	route("POST /v1/jobs", "jobs.submit", "", s.submit)
@@ -113,18 +132,36 @@ func NewServerWith(e *Engine, sc ServerConfig) http.Handler {
 	route("GET /v1/jobs/{id}/events", "jobs.events", "", s.jobEvents)
 	route("GET /v1/cache/{key...}", "cache.get", "", s.cacheGet)
 	route("PUT /v1/cache/{key...}", "cache.put", "", s.cachePut)
-	route("GET /v1/healthz", "healthz", "", s.healthz)
-	route("GET /v1/metrics", "metrics", "", s.metricsProm)
-	route("GET /v1/metrics.json", "metrics.json", "", s.metricsJSON)
+	open("GET /v1/healthz", "healthz", s.healthz)
+	open("GET /v1/metrics", "metrics", s.metricsProm)
+	open("GET /v1/metrics.json", "metrics.json", s.metricsJSON)
 
-	route("POST /jobs", "jobs.submit", "/v1/jobs", s.submit)
-	route("GET /jobs", "jobs.list", "/v1/jobs", s.listLegacy)
-	route("GET /jobs/{id}", "jobs.get", "/v1/jobs/{id}", s.get)
-	route("DELETE /jobs/{id}", "jobs.cancel", "/v1/jobs/{id}", s.cancel)
-	route("GET /healthz", "healthz", "/v1/healthz", s.healthz)
-	route("GET /metrics", "metrics", "/v1/metrics", s.metricsProm)
+	// The seed-era unversioned surface, deprecated since the /v1
+	// redesign: sunset by default (404 with a migration pointer),
+	// resurrectable for one release with LegacyRoutes.
+	legacy := func(pattern, name, successor string, h http.HandlerFunc) {
+		if !sc.LegacyRoutes {
+			h = legacyGone(successor)
+		}
+		route(pattern, name, successor, h)
+	}
+	legacy("POST /jobs", "jobs.submit", "/v1/jobs", s.submit)
+	legacy("GET /jobs", "jobs.list", "/v1/jobs", s.listLegacy)
+	legacy("GET /jobs/{id}", "jobs.get", "/v1/jobs/{id}", s.get)
+	legacy("DELETE /jobs/{id}", "jobs.cancel", "/v1/jobs/{id}", s.cancel)
+	legacy("GET /healthz", "healthz", "/v1/healthz", s.healthz)
+	legacy("GET /metrics", "metrics", "/v1/metrics", s.metricsProm)
 
 	return mux
+}
+
+// legacyGone answers for a sunset legacy route: 404 in the unified
+// envelope, naming the successor (and the escape hatch).
+func legacyGone(successor string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			"legacy route removed; use "+successor+" (pdfd -legacy-routes restores it for one release)", 0)
+	}
 }
 
 // deprecated marks a legacy route per RFC 9745/8594 conventions: a
@@ -138,8 +175,9 @@ func deprecated(successor string, next http.Handler) http.Handler {
 }
 
 type server struct {
-	e   *Engine
-	cfg ServerConfig
+	e    *Engine
+	cfg  ServerConfig
+	auth *TenantAuth
 }
 
 var unknownFieldRE = regexp.MustCompile(`unknown field "([^"]*)"`)
@@ -156,15 +194,26 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidSpec, msg, 0)
 		return
 	}
+	// The resolved tenant (bearer auth, or a coordinator's forwarded
+	// header) overrides whatever the body claims: clients cannot ride
+	// another tenant's queue by naming it in the Spec.
+	if t := RequestTenant(r.Context()); t != "" {
+		spec.Tenant = t
+	}
 	j, err := s.e.Submit(spec)
 	switch {
 	case err == nil:
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.Info("job submitted",
 				"request_id", obs.RequestID(r.Context()), "job_id", j.ID(),
-				"kind", spec.Kind, "circuit", spec.Circuit)
+				"kind", spec.Kind, "circuit", spec.Circuit, "tenant", spec.Tenant)
 		}
 		writeJSON(w, http.StatusAccepted, j.View())
+	case errors.Is(err, ErrQuotaExceeded):
+		// Per-tenant backpressure: only this tenant is over its bound.
+		writeError(w, http.StatusTooManyRequests, CodeQuotaExceeded, err.Error(), time.Second)
+	case errors.Is(err, ErrUnknownTenant):
+		writeError(w, http.StatusUnauthorized, CodeUnauthorized, err.Error(), 0)
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrBusy):
 		// Backpressure, not failure: tell well-behaved clients when to
 		// try again.
@@ -344,10 +393,14 @@ type Health struct {
 	Status     string `json:"status"`
 	QueueDepth int    `json:"queue_depth"`
 	Inflight   int    `json:"inflight"`
+	// Tenants maps tenant name → queued jobs, the per-tenant view of
+	// QueueDepth. The coordinator sums these across backends into its
+	// own health view.
+	Tenants map[string]int `json:"tenants"`
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
-	h := Health{Status: "ok", QueueDepth: s.e.QueueDepth(), Inflight: s.e.Inflight()}
+	h := Health{Status: "ok", QueueDepth: s.e.QueueDepth(), Inflight: s.e.Inflight(), Tenants: s.e.TenantDepths()}
 	if s.e.Overloaded() {
 		h.Status = "overloaded"
 		w.Header().Set("Retry-After", "1")

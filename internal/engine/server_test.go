@@ -27,6 +27,19 @@ func newTestServer(t *testing.T) (*Engine, *httptest.Server) {
 	return e, srv
 }
 
+// newLegacyTestServer serves with the sunset unversioned routes
+// resurrected (the -legacy-routes escape hatch).
+func newLegacyTestServer(t *testing.T) (*Engine, *httptest.Server) {
+	t.Helper()
+	e := New(Config{Workers: 2, SimWorkers: 4})
+	srv := httptest.NewServer(NewServerWith(e, ServerConfig{LegacyRoutes: true}))
+	t.Cleanup(func() {
+		srv.Close()
+		e.Close()
+	})
+	return e, srv
+}
+
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
 	t.Helper()
 	b, err := json.Marshal(body)
@@ -148,11 +161,15 @@ func TestServerHealthAndListing(t *testing.T) {
 	if page.NextPageToken != "" {
 		t.Errorf("single-page listing has next_page_token %q", page.NextPageToken)
 	}
-	// The legacy route still answers with the seed shape: a bare array.
-	var list []JobView
-	getJSON(t, srv.URL+"/jobs", &list)
-	if len(list) != 1 || list[0].ID != v.ID {
-		t.Errorf("GET /jobs listed %+v", list)
+	// The legacy route is sunset by default: 404 in the envelope,
+	// pointing clients at the successor.
+	var env errorEnvelope
+	resp = getJSON(t, srv.URL+"/jobs", &env)
+	if resp.StatusCode != http.StatusNotFound || env.Error.Code != CodeNotFound {
+		t.Errorf("GET /jobs = %d/%q, want sunset 404/%q", resp.StatusCode, env.Error.Code, CodeNotFound)
+	}
+	if !strings.Contains(env.Error.Message, "/v1/jobs") {
+		t.Errorf("sunset message %q does not name the successor", env.Error.Message)
 	}
 }
 
@@ -239,11 +256,11 @@ func TestServerErrorEnvelope(t *testing.T) {
 			http.StatusBadRequest, CodeInvalidSpec, "limit"},
 		{"bad page token", http.MethodGet, "/v1/jobs?page_token=zzz", nil,
 			http.StatusBadRequest, CodeInvalidSpec, "page_token"},
-		{"legacy bad kind", http.MethodPost, "/jobs",
+		{"sunset legacy submit", http.MethodPost, "/jobs",
 			map[string]any{"kind": "explode", "circuit": "s27"},
-			http.StatusBadRequest, CodeInvalidSpec, ""},
-		{"legacy unknown job", http.MethodGet, "/jobs/j999", nil,
-			http.StatusNotFound, CodeNotFound, "j999"},
+			http.StatusNotFound, CodeNotFound, "/v1/jobs"},
+		{"sunset legacy get", http.MethodGet, "/jobs/j999", nil,
+			http.StatusNotFound, CodeNotFound, "/v1/jobs/{id}"},
 	}
 	for _, c := range cases {
 		resp, body := do(c.method, c.path, c.body)
@@ -394,15 +411,30 @@ func TestServerJobListPagination(t *testing.T) {
 	}
 }
 
-// The unversioned seed routes still answer, marked deprecated and
-// pointing at their successors; /v1 routes are not marked.
+// The unversioned seed routes are sunset: 404 by default, answering
+// again — still marked deprecated with a successor Link — only under
+// ServerConfig.LegacyRoutes (pdfd -legacy-routes); /v1 routes are
+// never marked.
 func TestServerDeprecatedAliases(t *testing.T) {
-	_, srv := newTestServer(t)
 	aliases := []struct{ old, successor string }{
 		{"/healthz", "/v1/healthz"},
 		{"/jobs", "/v1/jobs"},
 		{"/metrics", "/v1/metrics"},
 	}
+
+	_, sunset := newTestServer(t)
+	for _, a := range aliases {
+		var env errorEnvelope
+		resp := getJSON(t, sunset.URL+a.old, &env)
+		if resp.StatusCode != http.StatusNotFound || env.Error.Code != CodeNotFound {
+			t.Errorf("GET %s = %d/%q, want sunset 404/%q", a.old, resp.StatusCode, env.Error.Code, CodeNotFound)
+		}
+		if !strings.Contains(env.Error.Message, a.successor) {
+			t.Errorf("GET %s: sunset message %q does not name %s", a.old, env.Error.Message, a.successor)
+		}
+	}
+
+	_, srv := newLegacyTestServer(t)
 	for _, a := range aliases {
 		resp := getJSON(t, srv.URL+a.old, nil)
 		if resp.StatusCode != http.StatusOK {
@@ -414,6 +446,11 @@ func TestServerDeprecatedAliases(t *testing.T) {
 		if link := resp.Header.Get("Link"); !strings.Contains(link, a.successor) {
 			t.Errorf("GET %s: Link header %q does not point at %s", a.old, link, a.successor)
 		}
+	}
+	// The resurrected legacy list keeps the seed shape: a bare array.
+	var list []JobView
+	if resp := getJSON(t, srv.URL+"/jobs", &list); resp.StatusCode != http.StatusOK {
+		t.Errorf("legacy GET /jobs = %d", resp.StatusCode)
 	}
 	for _, path := range []string{"/v1/healthz", "/v1/jobs", "/v1/metrics", "/v1/metrics.json"} {
 		resp := getJSON(t, srv.URL+path, nil)
@@ -592,8 +629,25 @@ func TestServerPrometheusExposition(t *testing.T) {
 		t.Errorf("no pdfd_stage_duration_seconds buckets after a finished job")
 	}
 
-	// The deprecated alias serves the identical format.
-	dresp, err := http.Get(srv.URL + "/metrics")
+	// The per-tenant scheduler families are exposed.
+	if types["pdfd_tenant_queued"] != "gauge" || types["pdfd_tenant_running"] != "gauge" {
+		t.Errorf("pdfd_tenant_queued/running TYPEs = %q/%q, want gauges",
+			types["pdfd_tenant_queued"], types["pdfd_tenant_running"])
+	}
+	if types["pdfd_tenant_shed_total"] != "counter" {
+		t.Errorf("pdfd_tenant_shed_total TYPE = %q, want counter", types["pdfd_tenant_shed_total"])
+	}
+	if len(samples["pdfd_tenant_queue_wait_seconds_bucket"]) == 0 {
+		t.Errorf("no pdfd_tenant_queue_wait_seconds buckets after a finished job")
+	}
+
+	// The deprecated alias (resurrected via LegacyRoutes) serves the
+	// identical format; by default it is sunset.
+	if sresp := getJSON(t, srv.URL+"/metrics", nil); sresp.StatusCode != http.StatusNotFound {
+		t.Errorf("sunset GET /metrics = %d, want 404", sresp.StatusCode)
+	}
+	_, legacySrv := newLegacyTestServer(t)
+	dresp, err := http.Get(legacySrv.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}

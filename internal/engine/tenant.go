@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+)
+
+// DefaultTenant is the tenant jobs run under when their Spec names
+// none: the anonymous tenant of a pdfd started without -tenants, and
+// the implicit catch-all queue of a multi-tenant engine.
+const DefaultTenant = "default"
+
+// TenantHeader carries the resolved tenant between cluster tiers: the
+// coordinator authenticates the client and forwards the tenant name to
+// the owning backend in this header, so backends schedule under the
+// right queue without re-authenticating.
+const TenantHeader = "X-Pdfd-Tenant"
+
+// Job priorities within a tenant's queue. Interactive jobs always
+// dispatch before batch jobs of the same tenant; across tenants the
+// deficit-round-robin weights decide.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+)
+
+// TenantConfig declares one tenant of a multi-tenant engine: its
+// bearer key (front-end auth), its deficit-round-robin weight, and the
+// bounds of its queue. The zero value of every field but Name selects
+// a default.
+type TenantConfig struct {
+	// Name identifies the tenant everywhere tenancy surfaces: queue
+	// selection, journal records, SSE events, span attributes and the
+	// pdfd_tenant_* metric label.
+	Name string `json:"name"`
+	// Key is the Authorization: Bearer credential that resolves to
+	// this tenant. Empty means the tenant cannot be reached by bearer
+	// auth (a scheduling-only tenant, e.g. on cluster backends that
+	// trust the coordinator's X-Pdfd-Tenant header). If any configured
+	// tenant has a key, the /v1 surface requires auth.
+	Key string `json:"key,omitempty"`
+	// Weight is the tenant's deficit-round-robin quantum: with both
+	// queues backlogged, a weight-3 tenant completes three jobs for
+	// every one of a weight-1 tenant. 0 means 1.
+	Weight int `json:"weight,omitempty"`
+	// QueueDepth bounds the tenant's queue; submissions beyond it are
+	// shed with ErrQuotaExceeded (429). 0 uses the engine QueueDepth.
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// MaxInflight caps how many of the tenant's jobs may execute at
+	// once; the scheduler skips the tenant (without burning its
+	// deficit) while it is at the cap. 0 means unlimited.
+	MaxInflight int `json:"max_inflight,omitempty"`
+}
+
+// tenantNameRE bounds tenant names so they are safe as metric label
+// values, header values and journal fields.
+var tenantNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// ValidTenantName reports whether name may identify a tenant.
+func ValidTenantName(name string) bool { return tenantNameRE.MatchString(name) }
+
+// tenantsFile is the JSON shape of the pdfd -tenants config file.
+type tenantsFile struct {
+	Tenants []TenantConfig `json:"tenants"`
+}
+
+// ParseTenants reads a -tenants config file:
+//
+//	{"tenants": [
+//	  {"name": "acme", "key": "acme-secret", "weight": 3, "queue_depth": 128, "max_inflight": 8},
+//	  {"name": "labs", "key": "labs-secret"}
+//	]}
+//
+// It validates names, bounds and key uniqueness; the returned slice
+// feeds both engine.Config.Tenants (scheduling) and the server's
+// bearer auth.
+func ParseTenants(r io.Reader) ([]TenantConfig, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f tenantsFile
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("tenants config: %w", err)
+	}
+	if len(f.Tenants) == 0 {
+		return nil, fmt.Errorf("tenants config: no tenants declared")
+	}
+	names := make(map[string]bool, len(f.Tenants))
+	keys := make(map[string]string, len(f.Tenants))
+	for _, t := range f.Tenants {
+		if !ValidTenantName(t.Name) {
+			return nil, fmt.Errorf("tenants config: bad tenant name %q", t.Name)
+		}
+		if names[t.Name] {
+			return nil, fmt.Errorf("tenants config: duplicate tenant %q", t.Name)
+		}
+		names[t.Name] = true
+		if t.Key != "" {
+			if prev, dup := keys[t.Key]; dup {
+				return nil, fmt.Errorf("tenants config: tenants %q and %q share a key", prev, t.Name)
+			}
+			keys[t.Key] = t.Name
+		}
+		if t.Weight < 0 || t.QueueDepth < 0 || t.MaxInflight < 0 {
+			return nil, fmt.Errorf("tenants config: negative bound on tenant %q", t.Name)
+		}
+	}
+	return f.Tenants, nil
+}

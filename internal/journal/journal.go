@@ -51,9 +51,13 @@ func (o Op) Terminal() bool { return o == OpDone || o == OpFailed || o == OpCanc
 // Record is one journal entry. Only Op and JobID are always set; the
 // rest depend on the op (see the Op constants).
 type Record struct {
-	Op      Op              `json:"op"`
-	JobID   string          `json:"job"`
-	Seq     int64           `json:"seq,omitempty"`
+	Op    Op     `json:"op"`
+	JobID string `json:"job"`
+	Seq   int64  `json:"seq,omitempty"`
+	// Tenant is the job's scheduling tenant, recorded on OpSubmitted
+	// so replay tooling can partition a journal without decoding every
+	// Spec (the Spec's own tenant field is what Restore schedules by).
+	Tenant  string          `json:"tenant,omitempty"`
 	Spec    json.RawMessage `json:"spec,omitempty"`
 	Stage   string          `json:"stage,omitempty"`
 	Digest  string          `json:"digest,omitempty"`

@@ -61,3 +61,46 @@ func GoodSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusAccepted)
 }
+
+// authorize is a stand-in bearer-key check.
+func authorize(r *http.Request) bool { return r.Header.Get("Authorization") != "" }
+
+// overQuota is a stand-in per-tenant queue-bound check.
+func overQuota(r *http.Request) bool { return r.Header.Get("X-Pdfd-Tenant") == "over" }
+
+// BadAuth answers a failed credential check outside the envelope.
+// Auth rejections are API responses like any other: clients match on
+// error.code ("unauthorized"), not on a text/plain body.
+func BadAuth(w http.ResponseWriter, r *http.Request) {
+	if !authorize(r) {
+		http.Error(w, "missing bearer credential", http.StatusUnauthorized) // want `http.Error bypasses the /v1 error envelope`
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// BadQuota sheds an over-quota tenant outside the envelope, losing
+// the machine-readable code and retry_after_ms.
+func BadQuota(w http.ResponseWriter, r *http.Request) {
+	if overQuota(r) {
+		http.Error(w, "quota exceeded", http.StatusTooManyRequests) // want `http.Error bypasses the /v1 error envelope`
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// GoodTenantGate answers 401 and 429 through the envelope, with the
+// retry headers the tenancy API documents.
+func GoodTenantGate(w http.ResponseWriter, r *http.Request) {
+	if !authorize(r) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="pdfd"`)
+		writeRouted(w, routedError{Status: http.StatusUnauthorized, Code: "unauthorized", Msg: "missing or unknown bearer credential"})
+		return
+	}
+	if overQuota(r) {
+		w.Header().Set("Retry-After", "1")
+		writeRouted(w, routedError{Status: http.StatusTooManyRequests, Code: "quota_exceeded", Msg: "tenant queue quota exceeded"})
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}

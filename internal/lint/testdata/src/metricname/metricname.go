@@ -34,6 +34,29 @@ func BadDynamic(kind string) {
 	obs.NewCounterFunc("pdfd_"+kind+"_total", "Dynamic.", func() float64 { return 0 }) // want `metric name must be a constant-foldable string`
 }
 
+// GoodTenantFamily mirrors the engine's per-tenant registration
+// sites: gauge/counter/histogram vectors labelled by tenant (and shed
+// reason), all with literal names.
+func GoodTenantFamily() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.MustRegister(
+		obs.NewGaugeVec("pdfd_tenant_queued", "Queued jobs by tenant.", "tenant"),
+		obs.NewGaugeVec("pdfd_tenant_running", "Running jobs by tenant.", "tenant"),
+		obs.NewCounterVec("pdfd_tenant_jobs_done_total", "Completed jobs by tenant.", "tenant"),
+		obs.NewCounterVec("pdfd_tenant_shed_total", "Shed submissions by tenant and reason.", "tenant", "reason"),
+		obs.NewHistogramVec("pdfd_tenant_queue_wait_seconds", "Queue wait by tenant.", obs.DefBuckets, "tenant"),
+		obs.NewCounterVec("pdfd_cluster_tenant_routed_total", "Routed submissions by tenant.", "tenant", "affinity"),
+	)
+	return reg
+}
+
+// BadTenantFamily interpolates the tenant into the metric NAME — the
+// cardinality bomb the per-tenant label design exists to avoid (and a
+// name the analyzer cannot prove well-formed).
+func BadTenantFamily(tenant string) {
+	obs.NewCounterFunc("pdfd_tenant_"+tenant+"_jobs_total", "Per-tenant family by name.", func() float64 { return 0 }) // want `metric name must be a constant-foldable string`
+}
+
 // GoodStoreFamily mirrors the durable-store registration sites: a
 // counter-forwarding family plus entry/byte gauges, all with literal
 // names.
