@@ -25,10 +25,14 @@
 //	pdfd [-addr :8344] [-debug-addr ""] [-log-format text] [-log-level info]
 //	     [-workers 0] [-sim-workers 4] [-queue 64] [-cache 128]
 //	     [-timeout 10m] [-max-retries 0] [-shed-watermark 0]
-//	     [-trace-spans 512] [-journal DIR] [-drain 30s]
+//	     [-trace-spans 512] [-trace-sample 1] [-trace-buffer 256]
+//	     [-journal DIR] [-drain 30s]
 //
 // -trace-spans caps each job's span timeline; 0 disables span
-// collection entirely.
+// collection entirely. -trace-sample head-samples distributed traces
+// (W3C traceparent; the decision hashes the trace ID so the fleet
+// agrees) and -trace-buffer bounds the tail-retention store that
+// always keeps error and slowest-percentile traces.
 //
 // Endpoints (the versioned /v1 surface; see API.md for the contract):
 //
@@ -38,8 +42,11 @@
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/trace  the job's span timeline
 //	GET    /v1/jobs/{id}/events live lifecycle event stream (SSE; Last-Event-ID resumes)
+//	GET    /v1/traces           tail-retained traces; ?min_duration= ?outcome= ?limit=
+//	GET    /v1/traces/{trace_id} one retained trace with its span timeline
 //	GET    /v1/healthz          liveness probe; 503 "overloaded" past the watermark
-//	GET    /v1/metrics          Prometheus text exposition
+//	GET    /v1/version          build version + Go toolchain, also pdfd_build_info
+//	GET    /v1/metrics          Prometheus text exposition (OpenMetrics + exemplars via Accept)
 //	GET    /v1/metrics.json     queue/cache/latency/resilience counters as JSON
 //
 // The pre-/v1 routes (/jobs, /jobs/{id}, /healthz, /metrics) still

@@ -38,6 +38,13 @@ type backend struct {
 	queueDepth atomic.Int64 // from the last /v1/healthz body
 	inflight   atomic.Int64 // from the last /v1/healthz body
 
+	// Clock telemetry from the last successful probe: the backend's
+	// estimated wall-clock offset relative to the coordinator
+	// (remote minus local, milliseconds) and the probe round trip
+	// (microseconds). Trace assembly reads both.
+	skewMS    atomic.Int64
+	rttMicros atomic.Int64
+
 	// proxied counts the coordinator-side requests currently in flight
 	// to this backend (the pdfd_cluster_proxy_inflight gauge).
 	proxied atomic.Int64

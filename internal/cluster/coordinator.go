@@ -111,6 +111,18 @@ type Config struct {
 	// nil uses a pooled default.
 	Transport http.RoundTripper
 
+	// TraceSample is the head-sampling rate applied when the
+	// coordinator mints a trace at the edge (a request arriving without
+	// a traceparent): 0 keeps every trace, negative keeps none, values
+	// in (0,1] sample that fraction deterministically by trace ID.
+	// Error and slowest-percentile routing traces are tail-retained
+	// regardless.
+	TraceSample float64
+	// TraceBufferCount / TraceBufferBytes cap the tail-retention buffer
+	// of routing traces; 0 uses the obs defaults.
+	TraceBufferCount int
+	TraceBufferBytes int64
+
 	// RequestTimeout bounds one proxied (non-SSE) backend request;
 	// 0 uses 30s.
 	RequestTimeout time.Duration
@@ -192,6 +204,9 @@ type Coordinator struct {
 	// repl drives result replication; nil when ReplicationFactor < 2.
 	repl *replicator
 
+	// traces tail-retains routing traces for /v1/traces (see tracing.go).
+	traces *obs.TraceBuffer
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -207,6 +222,7 @@ func New(cfg Config) (*Coordinator, error) {
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
+		obs.RegisterBuildInfo(reg)
 		obs.RegisterGoRuntime(reg)
 	}
 	log := cfg.Logger
@@ -226,6 +242,7 @@ func New(cfg Config) (*Coordinator, error) {
 		backends: make(map[string]*backend, len(cfg.Backends)),
 		ring:     NewRing(cfg.VNodes),
 		fullRing: NewRing(cfg.VNodes),
+		traces:   obs.NewTraceBuffer(cfg.TraceBufferCount, cfg.TraceBufferBytes),
 		ctx:      ctx,
 		cancel:   cancel,
 	}
@@ -331,6 +348,10 @@ type SubmitResult struct {
 	Body []byte
 	// RetryAfter relays the backend's Retry-After header, if any.
 	RetryAfter string
+	// BackendRequestID is the X-Request-ID the backend answered with,
+	// echoed to the client as X-Pdfd-Backend-Request-ID so one request
+	// can be chased through both access logs.
+	BackendRequestID string
 	// Route tells where the job went (zero when View is nil and the
 	// error is not a shed).
 	Route Route
@@ -342,8 +363,40 @@ type SubmitResult struct {
 // take the job at all (no_backend / backend_down); backend-produced
 // envelopes (invalid_spec, overloaded after a failed spillover) come
 // back as a SubmitResult to relay.
+//
+// Every submission records a routing trace (route / forward /
+// spillover spans) under the caller's trace identity — minted at the
+// edge when the caller carried none — and offers it to the tail
+// retention buffer when the routing completes. Forwarded requests
+// carry the routing trace as their traceparent, so the backend's job
+// timeline grafts under this hop.
 func (c *Coordinator) Submit(ctx context.Context, spec engine.Spec) (SubmitResult, error) {
+	ctx, edge := c.ensureTraceContext(ctx)
+	tr := obs.NewTrace(0)
+	tr.Adopt(edge)
+	ctx = obs.WithTraceContext(obs.NewContext(ctx, tr), tr.Context())
 	digest := engine.SpecDigest(spec)
+	start := time.Now()
+	sctx, root := obs.StartSpan(ctx, "route",
+		obs.String("digest", digest[:16]),
+		obs.String("kind", string(spec.Kind)),
+		obs.String("circuit", spec.Circuit))
+	res, err := c.routeSubmit(sctx, spec, digest)
+	switch {
+	case err != nil:
+		root.End(obs.String("error", err.Error()))
+	case res.View != nil:
+		root.End(obs.String("backend", res.Route.Backend), obs.String("affinity", res.Route.Affinity))
+	default:
+		root.End(obs.Int("relayed_status", res.Status))
+	}
+	c.offerRouteTrace(tr, string(spec.Kind), spec.Circuit, res, err, time.Since(start))
+	return res, err
+}
+
+// routeSubmit is Submit's routing core, running inside the routing
+// trace's root span.
+func (c *Coordinator) routeSubmit(ctx context.Context, spec engine.Spec, digest string) (SubmitResult, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return SubmitResult{}, &RoutedError{Status: http.StatusBadRequest, Code: "invalid_spec", Message: err.Error()}
@@ -371,11 +424,14 @@ func (c *Coordinator) Submit(ctx context.Context, spec engine.Spec) (SubmitResul
 			continue
 		}
 		tried++
-		res, err := c.forwardSubmit(ctx, b, body, hdr)
+		fctx, fsp := obs.StartSpan(ctx, "forward", obs.String("backend", b.name))
+		res, err := c.forwardSubmit(fctx, b, body, hdr)
 		if err != nil {
+			fsp.End(obs.String("error", err.Error()))
 			c.log.Warn("submit forward failed", "backend", b.name, "error", err.Error())
 			continue // next ring successor
 		}
+		fsp.End(obs.Int("status", res.Status))
 		affinity := "owner"
 		if name != owner {
 			affinity = "failover"
@@ -384,7 +440,13 @@ func (c *Coordinator) Submit(ctx context.Context, spec engine.Spec) (SubmitResul
 			// The chosen backend shed the job: least-loaded spillover.
 			c.metrics.sheds.With(b.name).Inc()
 			if spill := c.spillTarget(b.name); spill != nil {
-				sres, serr := c.forwardSubmit(ctx, spill, body, hdr)
+				spctx, ssp := obs.StartSpan(ctx, "spillover", obs.String("backend", spill.name))
+				sres, serr := c.forwardSubmit(spctx, spill, body, hdr)
+				if serr != nil {
+					ssp.End(obs.String("error", serr.Error()))
+				} else {
+					ssp.End(obs.Int("status", sres.Status))
+				}
 				if serr == nil && sres.Status == http.StatusAccepted {
 					c.metrics.spillovers.Add(1)
 					return c.acceptedTenant(sres, Route{Backend: spill.name, Owner: owner, Affinity: "spillover"}, digest, spec.NoCache, tenant)
@@ -475,7 +537,8 @@ func (c *Coordinator) forwardSubmit(ctx context.Context, b *backend, body []byte
 		if err != nil {
 			return err
 		}
-		res = SubmitResult{Status: status, Body: respBody, RetryAfter: hdr.Get("Retry-After")}
+		res = SubmitResult{Status: status, Body: respBody, RetryAfter: hdr.Get("Retry-After"),
+			BackendRequestID: hdr.Get("X-Request-ID")}
 		return nil
 	})
 	if err != nil {
@@ -497,7 +560,7 @@ func (c *Coordinator) do(ctx context.Context, b *backend, method, path, route st
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(rctx, method, b.baseURL+path, rd)
+	req, err := c.newOutboundRequest(rctx, method, b.baseURL+path, rd)
 	if err != nil {
 		return 0, nil, nil, err
 	}

@@ -45,14 +45,22 @@ func (c *Coordinator) healthLoop(b *backend) {
 //
 // A single failed probe does not change state — transient blips must
 // not reshuffle the ring.
+//
+// Each successful probe doubles as a clock-skew measurement: the
+// backend reports its wall clock (Health.NowUnixMS), and assuming the
+// response was generated halfway through the round trip, the
+// backend's offset relative to the coordinator is its reported clock
+// minus the round-trip midpoint. Trace assembly uses the estimate to
+// rebase backend span timelines onto the coordinator clock.
 func (c *Coordinator) probe(b *backend) {
 	ctx, cancel := context.WithTimeout(c.ctx, c.cfg.HealthTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.baseURL+"/v1/healthz", nil)
+	req, err := c.newOutboundRequest(ctx, http.MethodGet, b.baseURL+"/v1/healthz", nil)
 	if err != nil {
 		c.probeFailed(b)
 		return
 	}
+	sent := time.Now()
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.probeFailed(b)
@@ -60,12 +68,18 @@ func (c *Coordinator) probe(b *backend) {
 	}
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	rtt := time.Since(sent)
 	var h engine.Health
 	parseOK := json.Unmarshal(body, &h) == nil
 	if parseOK {
 		b.queueDepth.Store(int64(h.QueueDepth))
 		b.inflight.Store(int64(h.Inflight))
 		b.setTenants(h.Tenants)
+		if h.NowUnixMS != 0 {
+			mid := sent.Add(rtt / 2).UnixMilli()
+			b.skewMS.Store(h.NowUnixMS - mid)
+			b.rttMicros.Store(rtt.Microseconds())
+		}
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK && parseOK:

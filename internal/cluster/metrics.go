@@ -27,6 +27,9 @@ type metrics struct {
 	healthTransitions *obs.CounterVec
 	// proxySeconds times proxied backend round trips by route.
 	proxySeconds *obs.HistogramVec
+	// routeSeconds times whole routed submissions by outcome; retained
+	// routing traces attach as OpenMetrics exemplars.
+	routeSeconds *obs.HistogramVec
 
 	// Per-backend gauges, refreshed by the health loop (and, for
 	// proxyInflight, on every proxied request).
@@ -60,6 +63,8 @@ func newClusterMetrics(reg *obs.Registry, c *Coordinator) *metrics {
 			"Backend health-state transitions, by new state.", "backend", "to"),
 		proxySeconds: obs.NewHistogramVec("pdfd_cluster_proxy_request_duration_seconds",
 			"Latency of proxied backend requests, by route.", obs.DefBuckets, "route"),
+		routeSeconds: obs.NewHistogramVec("pdfd_cluster_route_duration_seconds",
+			"End-to-end latency of routed submissions, by outcome.", obs.DefBuckets, "outcome"),
 		backendUp: obs.NewGaugeVec("pdfd_cluster_backend_up",
 			"1 when the backend is healthy (taking new jobs).", "backend"),
 		backendDraining: obs.NewGaugeVec("pdfd_cluster_backend_draining",
@@ -73,7 +78,7 @@ func newClusterMetrics(reg *obs.Registry, c *Coordinator) *metrics {
 	}
 	reg.MustRegister(
 		m.routed, m.tenantRouted, m.sheds, m.backendErrors, m.breakerOpens,
-		m.healthTransitions, m.proxySeconds,
+		m.healthTransitions, m.proxySeconds, m.routeSeconds,
 		m.backendUp, m.backendDraining, m.backendQueueDepth,
 		m.backendInflight, m.proxyInflight,
 		obs.NewCounterFunc("pdfd_cluster_spillovers_total",
@@ -98,6 +103,21 @@ func newClusterMetrics(reg *obs.Registry, c *Coordinator) *metrics {
 				defer c.mu.Unlock()
 				return float64(c.ring.Len())
 			}),
+		obs.NewGaugeFunc("pdfd_cluster_traces_retained",
+			"Routing traces currently tail-retained.",
+			func() float64 { return float64(c.traces.Stats().Retained) }),
+		obs.NewGaugeFunc("pdfd_cluster_traces_retained_bytes",
+			"Approximate bytes held by the routing-trace retention buffer.",
+			func() float64 { return float64(c.traces.Stats().Bytes) }),
+		obs.NewCounterFunc("pdfd_cluster_traces_offered_total",
+			"Routing traces offered to the retention buffer.",
+			func() float64 { return float64(c.traces.Stats().Offered) }),
+		obs.NewCounterFunc("pdfd_cluster_traces_kept_total",
+			"Routing traces the retention buffer decided to keep.",
+			func() float64 { return float64(c.traces.Stats().Kept) }),
+		obs.NewCounterFunc("pdfd_cluster_traces_evicted_total",
+			"Retained routing traces evicted by the buffer caps.",
+			func() float64 { return float64(c.traces.Stats().Evicted) }),
 	)
 	return m
 }

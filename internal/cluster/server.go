@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -73,8 +74,11 @@ type HealthView struct {
 //	DELETE /v1/jobs/{backend}/{id}          proxied cancel
 //	GET    /v1/jobs/{backend}/{id}/trace    proxied span timeline
 //	GET    /v1/jobs/{backend}/{id}/events   proxied SSE stream (Last-Event-ID passes through)
+//	GET    /v1/traces                       list tail-retained routing traces; ?min_duration= ?outcome= ?limit=
+//	GET    /v1/traces/{trace_id}            assembled cross-node trace (routing + backend spans, skew-corrected)
 //	GET    /v1/healthz                      fleet summary; 503 "no_backend" with zero healthy backends
-//	GET    /v1/metrics                      Prometheus text format (cluster + coordinator HTTP families)
+//	GET    /v1/version                      build version and toolchain from embedded build info
+//	GET    /v1/metrics                      Prometheus text format (OpenMetrics with exemplars via Accept)
 //	GET    /v1/metrics.json                 cluster Snapshot as JSON
 //
 // Job IDs returned by the coordinator are "{backend}/{id}" and feed
@@ -84,10 +88,19 @@ func NewServer(c *Coordinator) http.Handler {
 	s := &clusterServer{c: c, auth: engine.NewTenantAuth(c.cfg.Tenants)}
 	mux := http.NewServeMux()
 	// route registers the job routes behind tenant auth (a no-op
-	// resolver when Config.Tenants carries no keys); open keeps the
-	// liveness and metrics planes scrapeable without credentials.
+	// resolver when Config.Tenants carries no keys) and the trace edge:
+	// a request arriving without a traceparent gets one minted here,
+	// head-sampled at the configured rate, so every backend hop it fans
+	// into shares one trace ID. open keeps the liveness and metrics
+	// planes scrapeable without credentials.
+	edge := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			ctx, _ := c.ensureTraceContext(r.Context())
+			h(w, r.WithContext(ctx))
+		}
+	}
 	route := func(pattern, name string, h http.HandlerFunc) {
-		mux.Handle(pattern, obs.Middleware(name, c.cfg.Logger, c.httpMetrics, s.auth.Wrap(h)))
+		mux.Handle(pattern, obs.Middleware(name, c.cfg.Logger, c.httpMetrics, s.auth.Wrap(edge(h))))
 	}
 	open := func(pattern, name string, h http.HandlerFunc) {
 		mux.Handle(pattern, obs.Middleware(name, c.cfg.Logger, c.httpMetrics, h))
@@ -98,7 +111,10 @@ func NewServer(c *Coordinator) http.Handler {
 	route("DELETE /v1/jobs/{backend}/{id}", "jobs.cancel", s.proxyCancel)
 	route("GET /v1/jobs/{backend}/{id}/trace", "jobs.trace", s.proxyTrace)
 	route("GET /v1/jobs/{backend}/{id}/events", "jobs.events", s.proxyEvents)
+	route("GET /v1/traces", "traces.list", s.tracesList)
+	route("GET /v1/traces/{trace_id}", "traces.get", s.tracesGet)
 	open("GET /v1/healthz", "healthz", s.healthz)
+	open("GET /v1/version", "version", s.version)
 	open("GET /v1/metrics", "metrics", s.metricsProm)
 	open("GET /v1/metrics.json", "metrics.json", s.metricsJSON)
 	return mux
@@ -125,6 +141,9 @@ func (s *clusterServer) submit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeRouted(w, err)
 		return
+	}
+	if res.BackendRequestID != "" {
+		w.Header().Set("X-Pdfd-Backend-Request-ID", res.BackendRequestID)
 	}
 	if res.View != nil {
 		w.Header().Set("X-Pdfd-Backend", res.Route.Backend)
@@ -252,6 +271,7 @@ func (s *clusterServer) proxyGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+": "+err.Error(), time.Second)
 		return
 	}
+	echoBackendRequestID(w, hdr)
 	if status != http.StatusOK {
 		relayEnvelope(w, SubmitResult{Status: status, Body: body, RetryAfter: hdr.Get("Retry-After")})
 		return
@@ -275,6 +295,7 @@ func (s *clusterServer) proxyCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+": "+err.Error(), time.Second)
 		return
 	}
+	echoBackendRequestID(w, hdr)
 	if status != http.StatusOK {
 		relayEnvelope(w, SubmitResult{Status: status, Body: body, RetryAfter: hdr.Get("Retry-After")})
 		return
@@ -301,6 +322,7 @@ func (s *clusterServer) proxyTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadGateway, CodeBackendDown, "backend "+b.name+": "+err.Error(), time.Second)
 		return
 	}
+	echoBackendRequestID(w, hdr)
 	if status != http.StatusOK {
 		relayEnvelope(w, SubmitResult{Status: status, Body: body, RetryAfter: hdr.Get("Retry-After")})
 		return
@@ -333,7 +355,7 @@ func (s *clusterServer) proxyEvents(w http.ResponseWriter, r *http.Request) {
 	if r.URL.RawQuery != "" {
 		u += "?" + r.URL.RawQuery
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u, nil)
+	req, err := s.c.newOutboundRequest(r.Context(), http.MethodGet, u, nil)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, CodeBackendDown, err.Error(), time.Second)
 		return
@@ -348,6 +370,7 @@ func (s *clusterServer) proxyEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer resp.Body.Close()
+	echoBackendRequestID(w, resp.Header)
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		relayEnvelope(w, SubmitResult{Status: resp.StatusCode, Body: body, RetryAfter: resp.Header.Get("Retry-After")})
@@ -385,7 +408,76 @@ func (s *clusterServer) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, hv)
 }
 
+// tracesList serves GET /v1/traces: summaries of tail-retained routing
+// traces, newest first; ?min_duration= ?outcome= ?limit= narrow the
+// set. The listed trace IDs feed GET /v1/traces/{trace_id} for the
+// fully assembled cross-node tree.
+func (s *clusterServer) tracesList(w http.ResponseWriter, r *http.Request) {
+	var f obs.ListFilter
+	qs := r.URL.Query()
+	if v := qs.Get("min_duration"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, engine.CodeInvalidSpec, "bad min_duration "+strconv.Quote(v), 0)
+			return
+		}
+		f.MinDuration = d
+	}
+	if v := qs.Get("outcome"); v != "" {
+		switch v {
+		case "ok", "error":
+			f.Outcome = v
+		default:
+			writeError(w, http.StatusBadRequest, engine.CodeInvalidSpec, "unknown outcome "+strconv.Quote(v), 0)
+			return
+		}
+	}
+	if v := qs.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, engine.CodeInvalidSpec, "bad limit "+strconv.Quote(v), 0)
+			return
+		}
+		f.Limit = n
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.c.Traces().List(f)})
+}
+
+// tracesGet serves GET /v1/traces/{trace_id}: the retained routing
+// trace stitched together with the owning backend's job timeline into
+// one skew-corrected tree.
+func (s *clusterServer) tracesGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("trace_id")
+	rt, ok := s.c.Traces().Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, engine.CodeNotFound, "no retained trace "+id, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.c.AssembleTrace(r.Context(), rt))
+}
+
+// version serves GET /v1/version from the binary's embedded build info.
+func (s *clusterServer) version(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.Version())
+}
+
+// echoBackendRequestID relays the backend's request ID beside the
+// coordinator's own X-Request-ID, so one proxied request can be chased
+// through both access logs.
+func echoBackendRequestID(w http.ResponseWriter, hdr http.Header) {
+	if id := hdr.Get("X-Request-ID"); id != "" {
+		w.Header().Set("X-Pdfd-Backend-Request-ID", id)
+	}
+}
+
 func (s *clusterServer) metricsProm(w http.ResponseWriter, r *http.Request) {
+	// OpenMetrics is opt-in by Accept (exemplars are only valid there);
+	// the 0.0.4 text format stays the default.
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+		s.c.registry.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.c.registry.WritePrometheus(w)
 }

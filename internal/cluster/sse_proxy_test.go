@@ -9,10 +9,12 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 type sseFrame struct {
@@ -169,5 +171,111 @@ func TestClusterSSEProxyResume(t *testing.T) {
 	}
 	if got := e.Events().Subscribers(); got != 0 {
 		t.Fatalf("backend still holds %d subscriptions", got)
+	}
+}
+
+// Satellite: trace continuity across SSE reconnects. An EventSource
+// client re-sends its headers on every reconnect, so a resumed stream
+// (Last-Event-ID) must reach the backend under the same trace ID as
+// the original connect — and a client with no traceparent of its own
+// still gets one minted at the coordinator edge.
+func TestClusterSSEProxyTraceContinuity(t *testing.T) {
+	e := engine.New(engine.Config{Workers: 1})
+	defer e.Close()
+	h := engine.NewServer(e)
+	var mu sync.Mutex
+	var eventTraceparents []string
+	bsrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			mu.Lock()
+			eventTraceparents = append(eventTraceparents, r.Header.Get(obs.TraceparentHeader))
+			mu.Unlock()
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer bsrv.Close()
+
+	c, err := New(Config{
+		Backends:       []BackendConf{{Name: "b0", URL: bsrv.URL}},
+		HealthInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+
+	v, _ := submitVia(t, srv.URL, engine.Spec{Kind: engine.KindGenerate, Circuit: "s27", NP: 8, Seed: 2})
+	if got := waitVia(t, srv.URL, v.ID); got.Status != engine.StatusDone {
+		t.Fatalf("job = %s (%s)", got.Status, got.Error)
+	}
+
+	caller := obs.NewTraceContext(true)
+	stream := func(lastEventID string) []sseFrame {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs/"+v.ID+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(obs.TraceparentHeader, caller.Traceparent())
+		if lastEventID != "" {
+			req.Header.Set("Last-Event-ID", lastEventID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body) // job is terminal: clean EOF
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return parseSSEFrames(t, string(body))
+	}
+
+	first := stream("")
+	if len(first) < 2 {
+		t.Fatalf("first stream carried %d frames, want the full history", len(first))
+	}
+	// Reconnect as a browser would: same headers plus Last-Event-ID.
+	resumed := stream(strconv.FormatInt(first[0].id, 10))
+	if len(resumed) == 0 || resumed[0].id != first[0].id+1 {
+		t.Fatalf("resume did not pick up past frame %d: %+v", first[0].id, resumed)
+	}
+
+	mu.Lock()
+	seen := append([]string(nil), eventTraceparents...)
+	mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("backend saw %d /events requests, want 2", len(seen))
+	}
+	for i, hdr := range seen {
+		tc, ok := obs.ParseTraceparent(hdr)
+		if !ok {
+			t.Fatalf("connect %d reached the backend with traceparent %q", i, hdr)
+		}
+		if tc.TraceID != caller.TraceID {
+			t.Fatalf("connect %d carried trace %s, want the caller's %s", i, tc.TraceID, caller.TraceID)
+		}
+	}
+
+	// A client with no traceparent still produces one at the backend:
+	// the coordinator edge mints it.
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs/"+v.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	mu.Lock()
+	last := eventTraceparents[len(eventTraceparents)-1]
+	mu.Unlock()
+	if _, ok := obs.ParseTraceparent(last); !ok {
+		t.Fatalf("headerless client reached the backend with traceparent %q, want a minted one", last)
 	}
 }

@@ -92,8 +92,8 @@ func EnrichKCtx(ctx context.Context, c *circuit.Circuit, sets [][]robust.FaultCo
 		SecondaryRejectsBySet: res.SecondaryRejectsBySet,
 		RegenPerTest:          res.RegenPerTest,
 		//lint:telemetry wall-clock report, not part of the digest
-		Elapsed:               time.Since(start),
-		JustifyStats:          g.just.stats(),
+		Elapsed:      time.Since(start),
+		JustifyStats: g.just.stats(),
 	}
 	idx := 0
 	for s, set := range sets {

@@ -53,7 +53,7 @@ func TestGoldenAPIShapes(t *testing.T) {
 	}
 	assertShape(t, "JobView", jobBody,
 		[]string{"id", "kind", "circuit", "tenant", "priority", "status", "cache_hit", "queued_ms", "run_ms"},
-		[]string{"error", "attempts", "panic_stack", "result", "trace"})
+		[]string{"error", "attempts", "panic_stack", "result", "trace", "trace_id"})
 	if jobBody["tenant"] != DefaultTenant {
 		t.Errorf("anonymous job tenant = %v, want %q", jobBody["tenant"], DefaultTenant)
 	}
@@ -79,7 +79,7 @@ func TestGoldenAPIShapes(t *testing.T) {
 		t.Fatalf("GET /v1/healthz = %d", resp.StatusCode)
 	}
 	assertShape(t, "Health", health,
-		[]string{"status", "queue_depth", "inflight", "tenants"},
+		[]string{"status", "queue_depth", "inflight", "tenants", "now_unix_ms"},
 		nil)
 	if _, ok := health["tenants"].(map[string]any); !ok {
 		t.Errorf("healthz tenants is %T, want object of per-tenant depths", health["tenants"])

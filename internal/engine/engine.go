@@ -130,6 +130,19 @@ type Config struct {
 	// collection entirely: jobs carry no trace and pay no span cost.
 	TraceSpanLimit int
 
+	// TraceSample is the head-sampling rate for traces the engine
+	// roots itself (submissions without a caller traceparent): the
+	// fraction of trace IDs whose completed traces the tail buffer
+	// keeps even when fast and successful. 0 means 1.0 (keep
+	// everything; error and slowest-percentile traces are kept
+	// regardless of this rate); negative means 0.
+	TraceSample float64
+	// TraceBufferCount / TraceBufferBytes cap the tail-retention
+	// trace buffer; 0 uses obs.DefaultTraceBufferCount /
+	// obs.DefaultTraceBufferBytes.
+	TraceBufferCount int
+	TraceBufferBytes int64
+
 	// EventHistory bounds each job's event-stream history ring (the
 	// replay window of /v1/jobs/{id}/events); 0 uses
 	// events.DefaultHistory.
@@ -147,6 +160,7 @@ type Engine struct {
 	registry     *obs.Registry
 	httpMetrics  *obs.HTTPMetrics
 	events       *events.Bus
+	traces       *obs.TraceBuffer
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -198,6 +212,7 @@ func New(cfg Config) *Engine {
 		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
 		jobs:         make(map[string]*Job),
 		events:       events.NewBus(cfg.EventHistory),
+		traces:       obs.NewTraceBuffer(cfg.TraceBufferCount, cfg.TraceBufferBytes),
 	}
 	e.registry = buildRegistry(e)
 	e.httpMetrics = obs.NewHTTPMetrics(e.registry, "pdfd")
@@ -226,7 +241,21 @@ func (e *Engine) Events() *events.Bus { return e.events }
 // tenant over its own queue bound is shed with ErrQuotaExceeded
 // (configured tenants) or ErrBusy (anonymous mode); an unknown tenant
 // of a configured engine is rejected with ErrUnknownTenant.
+//
+// The job roots a fresh trace; callers holding a W3C trace context
+// (the HTTP server, the coordinator) use SubmitCtx so the job's spans
+// graft under the caller's trace instead.
 func (e *Engine) Submit(spec Spec) (*Job, error) {
+	return e.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit with caller correlation: a W3C trace context
+// carried by ctx (obs.WithTraceContext — the server middleware parses
+// the traceparent header into it) becomes the parent of the job's
+// trace, adopting the caller's trace ID and sampling decision. ctx is
+// only read for correlation values; its cancellation does not bound
+// the job.
+func (e *Engine) SubmitCtx(ctx context.Context, spec Spec) (*Job, error) {
 	spec, err := spec.normalized()
 	if err != nil {
 		return nil, err
@@ -257,7 +286,8 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 		created:    time.Now(),
 		done:       make(chan struct{}),
 	}
-	j.initTrace(e.cfg.TraceSpanLimit,
+	remote, _ := obs.TraceContextFrom(ctx)
+	j.initTrace(e.cfg.TraceSpanLimit, remote, e.traceSampleRate(),
 		obs.String("job_id", j.id),
 		obs.String("kind", string(spec.Kind)),
 		obs.String("circuit", spec.Circuit),
@@ -326,7 +356,12 @@ func (e *Engine) afterTerminal(j *Job, st Status, err error) {
 		e.metrics.jobsCanceled.Add(1)
 	}
 	d := time.Since(j.created)
-	e.metrics.jobSeconds.With(string(j.spec.Kind), string(st)).Observe(d.Seconds())
+	// Tail-based retention decides now, with the outcome known; the
+	// end-to-end latency histogram then carries the retained trace ID
+	// as its exemplar so a slow/error bucket links straight to a trace
+	// that landed in it.
+	exemplarID := e.offerTrace(j, st, d, err)
+	e.metrics.jobSeconds.With(string(j.spec.Kind), string(st)).ObserveExemplar(d.Seconds(), exemplarID)
 	if j.startTime().IsZero() {
 		// Shed before ever running (canceled while queued or retrying,
 		// e.g. at shutdown): its whole life was queue wait, which the
@@ -357,6 +392,56 @@ func (e *Engine) afterTerminal(j *Job, st Status, err error) {
 	}
 	e.log.Info("job finished", attrs...)
 }
+
+// traceSampleRate resolves Config.TraceSample's operator conventions
+// (0 = keep everything, negative = keep nothing) to a [0,1] rate.
+func (e *Engine) traceSampleRate() float64 {
+	r := e.cfg.TraceSample
+	switch {
+	case r == 0 || r > 1:
+		return 1
+	case r < 0:
+		return 0
+	}
+	return r
+}
+
+// offerTrace hands a finished job's trace to the tail-retention
+// buffer and returns the trace ID if it was retained ("" otherwise) —
+// the exemplar the latency histograms attach.
+func (e *Engine) offerTrace(j *Job, st Status, d time.Duration, err error) string {
+	if j.trace == nil {
+		return ""
+	}
+	outcome := "ok"
+	switch st {
+	case StatusFailed:
+		outcome = "error"
+	case StatusCanceled:
+		outcome = "canceled"
+	}
+	tv := j.trace.Snapshot()
+	rt := obs.RetainedTrace{
+		TraceID:      j.traceID(),
+		Name:         string(j.spec.Kind) + " " + j.spec.Circuit,
+		JobID:        j.id,
+		Outcome:      outcome,
+		DurationMS:   float64(d) / float64(time.Millisecond),
+		OriginUnixMS: j.created.UnixMilli(),
+		Trace:        &tv,
+	}
+	if err != nil {
+		rt.Error = err.Error()
+	}
+	if reason := e.traces.Offer(rt, j.traceSampled()); reason != "" {
+		return rt.TraceID
+	}
+	return ""
+}
+
+// Traces returns the engine's tail-retention trace buffer (the store
+// behind GET /v1/traces).
+func (e *Engine) Traces() *obs.TraceBuffer { return e.traces }
 
 // maxRetries resolves a job's retry budget.
 func (e *Engine) maxRetries(spec Spec) int {
@@ -670,8 +755,10 @@ func (e *Engine) runJob(j *Job) {
 
 	if first {
 		j.endQueued()
-		e.metrics.queueSeconds.With("ran").Observe(started.Sub(created).Seconds())
-		e.metrics.tenantQueueWait.With(j.spec.Tenant).Observe(started.Sub(created).Seconds())
+		// Queue-wait exemplars use the head-sampling decision — the
+		// tail verdict is not known until the job finishes.
+		e.metrics.queueSeconds.With("ran").ObserveExemplar(started.Sub(created).Seconds(), j.exemplarID())
+		e.metrics.tenantQueueWait.With(j.spec.Tenant).ObserveExemplar(started.Sub(created).Seconds(), j.exemplarID())
 	}
 	// The run context keeps the engine's cancellation but gains the
 	// job's trace correlation, so every span below lands on the job
@@ -880,7 +967,7 @@ func (e *Engine) Restore(recs []journal.Record) (int, error) {
 			created:    time.Now(),
 			done:       make(chan struct{}),
 		}
-		j.initTrace(e.cfg.TraceSpanLimit,
+		j.initTrace(e.cfg.TraceSpanLimit, obs.TraceContext{}, e.traceSampleRate(),
 			obs.String("job_id", j.id),
 			obs.String("kind", string(spec.Kind)),
 			obs.String("circuit", spec.Circuit),
@@ -934,7 +1021,7 @@ func (e *Engine) simWorkers(spec Spec) int {
 // stageDone records a completed pipeline stage in the latency metrics
 // and the journal.
 func (e *Engine) stageDone(j *Job, name string, d time.Duration) {
-	e.metrics.observeStage(name, d)
+	e.metrics.observeStage(name, d, j.exemplarID())
 	e.journalAppend(journal.Record{Op: journal.OpStage, JobID: j.id, Seq: j.seq, Stage: name})
 	e.events.Publish(j.id, "stage", map[string]string{
 		"stage":       name,
@@ -1138,7 +1225,7 @@ func collapseSet(fcs []robust.FaultConditions) []robust.FaultConditions {
 // and wait under ctx, returning the terminal snapshot. The job keeps
 // running if ctx expires first; cancel it explicitly for that case.
 func (e *Engine) RunJob(ctx context.Context, spec Spec) (JobView, error) {
-	j, err := e.Submit(spec)
+	j, err := e.SubmitCtx(ctx, spec)
 	if err != nil {
 		return JobView{}, err
 	}

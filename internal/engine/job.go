@@ -241,17 +241,45 @@ type Job struct {
 // negative limit disables tracing for the job: no trace is allocated,
 // traceCtx carries none, and every span operation below degrades to
 // the obs package's nil no-ops.
-func (j *Job) initTrace(limit int, attrs ...obs.Attr) {
+//
+// remote is the caller's W3C trace context (zero when the submission
+// arrived without one): when valid, the job's trace adopts the
+// caller's trace ID and sampling decision so its spans graft under
+// the cross-node trace instead of starting a fresh one. Otherwise the
+// job roots a new trace and sampleRate decides the head-sampling flag
+// (<= 0 keeps nothing, >= 1 everything) by hashing the trace ID.
+func (j *Job) initTrace(limit int, remote obs.TraceContext, sampleRate float64, attrs ...obs.Attr) {
 	if limit < 0 {
 		j.traceCtx = context.Background()
 		return
 	}
 	j.trace = obs.NewTrace(limit)
+	if remote.Valid() {
+		j.trace.Adopt(remote)
+	} else {
+		j.trace.SetSampled(obs.SampleDecision(j.trace.ID(), sampleRate))
+	}
 	ctx := obs.NewContext(context.Background(), j.trace)
 	ctx, j.rootSpan = obs.StartSpan(ctx, "job", attrs...)
 	j.traceCtx = ctx
 	_, j.queuedSpan = obs.StartSpan(ctx, "queued")
 }
+
+// traceID returns the job's W3C trace ID ("" when tracing is off).
+func (j *Job) traceID() string { return j.trace.ID() }
+
+// exemplarID is the trace ID histogram exemplars should carry for
+// this job: its trace ID when the trace is head-sampled (and so
+// likely retained), "" otherwise.
+func (j *Job) exemplarID() string {
+	if j.trace == nil || !j.traceSampled() {
+		return ""
+	}
+	return j.traceID()
+}
+
+// traceSampled reports the trace's head-sampling flag.
+func (j *Job) traceSampled() bool { return j.trace.Context().Sampled }
 
 // endQueued closes the queue-wait span (idempotent; retries re-enter
 // the queue but the span covers only the initial wait).
@@ -295,7 +323,11 @@ type JobView struct {
 	PanicStack string  `json:"panic_stack,omitempty"`
 	QueuedMS   float64 `json:"queued_ms"`
 	RunMS      float64 `json:"run_ms"`
-	Result     *Result `json:"result,omitempty"`
+	// TraceID is the job's W3C trace identity — the key for
+	// /v1/traces/{trace_id} on this node or, for jobs submitted
+	// through the coordinator, the fleet-wide assembled trace.
+	TraceID string  `json:"trace_id,omitempty"`
+	Result  *Result `json:"result,omitempty"`
 	// Trace is the job's span timeline (single-job snapshots only;
 	// list endpoints omit it — fetch /v1/jobs/{id} or .../trace).
 	Trace *obs.TraceView `json:"trace,omitempty"`
@@ -329,6 +361,7 @@ func (j *Job) ViewLite() JobView {
 		CacheHit:   j.cacheHit,
 		Attempts:   j.attempt,
 		PanicStack: j.panicStack,
+		TraceID:    j.trace.ID(),
 		Result:     j.result,
 	}
 	if j.err != nil {

@@ -136,8 +136,10 @@ func (m *Metrics) observeATPG(js justify.Stats, acceptsBySet, rejectsBySet, rege
 func setLabel(s int) string { return fmt.Sprintf("p%d", s) }
 
 // observeStage records one execution of a named pipeline stage.
-func (m *Metrics) observeStage(name string, d time.Duration) {
-	m.stageSeconds.With(name).Observe(d.Seconds())
+// exemplarID, when non-empty, links the landing bucket to that trace
+// in the OpenMetrics exposition.
+func (m *Metrics) observeStage(name string, d time.Duration, exemplarID string) {
+	m.stageSeconds.With(name).ObserveExemplar(d.Seconds(), exemplarID)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := m.stages[name]
@@ -278,6 +280,19 @@ func buildRegistry(e *Engine) *obs.Registry {
 				func() float64 { return float64(st.Bytes()) }),
 		)
 	}
+	reg.MustRegister(
+		obs.NewGaugeFunc("pdfd_traces_retained", "Traces currently held by the tail-retention buffer.",
+			func() float64 { return float64(e.traces.Stats().Retained) }),
+		obs.NewGaugeFunc("pdfd_traces_retained_bytes", "Approximate bytes held by the tail-retention trace buffer.",
+			func() float64 { return float64(e.traces.Stats().Bytes) }),
+		obs.NewCounterFunc("pdfd_traces_offered_total", "Finished traces offered to the tail-retention buffer.",
+			func() float64 { return float64(e.traces.Stats().Offered) }),
+		obs.NewCounterFunc("pdfd_traces_kept_total", "Offered traces the tail-retention buffer decided to keep.",
+			func() float64 { return float64(e.traces.Stats().Kept) }),
+		obs.NewCounterFunc("pdfd_traces_evicted_total", "Retained traces evicted by the buffer's count/byte caps.",
+			func() float64 { return float64(e.traces.Stats().Evicted) }),
+	)
+	obs.RegisterBuildInfo(reg)
 	obs.RegisterGoRuntime(reg)
 	return reg
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"regexp"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -88,8 +89,11 @@ type ServerConfig struct {
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
 //	GET    /v1/jobs/{id}/trace the job's span timeline alone
 //	GET    /v1/jobs/{id}/events live job lifecycle stream (Server-Sent Events)
+//	GET    /v1/traces          list tail-retained traces; ?min_duration= ?outcome= ?limit=
+//	GET    /v1/traces/{trace_id} one retained trace with its full span timeline
 //	GET    /v1/healthz         liveness probe; 503 "overloaded" past the watermark
-//	GET    /v1/metrics         Prometheus text-format exposition
+//	GET    /v1/version         build version and toolchain from embedded build info
+//	GET    /v1/metrics         Prometheus text exposition (OpenMetrics with exemplars via Accept)
 //	GET    /v1/metrics.json    the JSON counter snapshot (Snapshot)
 //
 // The seed-era unversioned routes (/jobs, /jobs/{id}, /healthz,
@@ -132,7 +136,10 @@ func NewServerWith(e *Engine, sc ServerConfig) http.Handler {
 	route("GET /v1/jobs/{id}/events", "jobs.events", "", s.jobEvents)
 	route("GET /v1/cache/{key...}", "cache.get", "", s.cacheGet)
 	route("PUT /v1/cache/{key...}", "cache.put", "", s.cachePut)
+	route("GET /v1/traces", "traces.list", "", s.tracesList)
+	route("GET /v1/traces/{trace_id}", "traces.get", "", s.tracesGet)
 	open("GET /v1/healthz", "healthz", s.healthz)
+	open("GET /v1/version", "version", s.version)
 	open("GET /v1/metrics", "metrics", s.metricsProm)
 	open("GET /v1/metrics.json", "metrics.json", s.metricsJSON)
 
@@ -200,7 +207,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	if t := RequestTenant(r.Context()); t != "" {
 		spec.Tenant = t
 	}
-	j, err := s.e.Submit(spec)
+	j, err := s.e.SubmitCtx(r.Context(), spec)
 	switch {
 	case err == nil:
 		if s.cfg.Logger != nil {
@@ -384,6 +391,57 @@ func (s *server) trace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"job_id": id, "trace": j.TraceView()})
 }
 
+// tracesList serves GET /v1/traces: summaries of tail-retained traces,
+// newest first; ?min_duration= ?outcome= ?limit= narrow the set.
+func (s *server) tracesList(w http.ResponseWriter, r *http.Request) {
+	var f obs.ListFilter
+	qs := r.URL.Query()
+	if v := qs.Get("min_duration"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec, "bad min_duration "+strconv.Quote(v), 0)
+			return
+		}
+		f.MinDuration = d
+	}
+	if v := qs.Get("outcome"); v != "" {
+		switch v {
+		case "ok", "error", "canceled":
+			f.Outcome = v
+		default:
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec, "unknown outcome "+strconv.Quote(v), 0)
+			return
+		}
+	}
+	if v := qs.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec, "bad limit "+strconv.Quote(v), 0)
+			return
+		}
+		f.Limit = n
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.e.Traces().List(f)})
+}
+
+// tracesGet serves GET /v1/traces/{trace_id}: one retained trace with
+// its full span timeline.
+func (s *server) tracesGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("trace_id")
+	rt, ok := s.e.Traces().Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no retained trace "+id, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, rt)
+}
+
+// version serves GET /v1/version: the build's module version and
+// toolchain, from the binary's embedded build info.
+func (s *server) version(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.Version())
+}
+
 // Health is the /v1/healthz (and legacy /healthz) response body.
 // Status is the legacy plain field ("ok", or "overloaded" beside a 503
 // past the shed watermark); QueueDepth and Inflight size the backend's
@@ -397,10 +455,15 @@ type Health struct {
 	// QueueDepth. The coordinator sums these across backends into its
 	// own health view.
 	Tenants map[string]int `json:"tenants"`
+	// NowUnixMS is the backend's wall clock at response time; the
+	// coordinator pairs it with the probe round-trip to estimate
+	// per-backend clock skew when merging cross-node trace timelines.
+	NowUnixMS int64 `json:"now_unix_ms"`
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
-	h := Health{Status: "ok", QueueDepth: s.e.QueueDepth(), Inflight: s.e.Inflight(), Tenants: s.e.TenantDepths()}
+	h := Health{Status: "ok", QueueDepth: s.e.QueueDepth(), Inflight: s.e.Inflight(),
+		Tenants: s.e.TenantDepths(), NowUnixMS: time.Now().UnixMilli()}
 	if s.e.Overloaded() {
 		h.Status = "overloaded"
 		w.Header().Set("Retry-After", "1")
@@ -411,6 +474,13 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) metricsProm(w http.ResponseWriter, r *http.Request) {
+	// OpenMetrics is opt-in by Accept (it is the only exposition that
+	// may carry exemplars); the 0.0.4 text format stays the default.
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+		s.cfg.Registry.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.cfg.Registry.WritePrometheus(w)
 }

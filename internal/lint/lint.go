@@ -155,6 +155,11 @@ type Config struct {
 	// crash: every os.Rename there needs a following parent-directory
 	// fsync (fsyncdir analyzer).
 	DurablePkgs []string
+	// ClusterPkgs are the fleet-routing packages whose outbound HTTP
+	// requests must carry trace propagation headers: http.NewRequest*
+	// there may only appear inside the header-injecting helper
+	// (tracepropagation analyzer).
+	ClusterPkgs []string
 	// ObsPkg is the import path of the observability package whose
 	// metric constructors and StartSpan the obs analyzers recognize.
 	ObsPkg string
@@ -185,6 +190,9 @@ func DefaultConfig() *Config {
 		DurablePkgs: []string{
 			"repro/internal/journal",
 			"repro/internal/store",
+		},
+		ClusterPkgs: []string{
+			"repro/internal/cluster",
 		},
 		ObsPkg: "repro/internal/obs",
 	}
@@ -219,6 +227,12 @@ func (c *Config) Durable(pkg *Package) bool {
 	return matchesAny(pkg.PkgPath, c.DurablePkgs)
 }
 
+// Cluster reports whether pkg must route outbound requests through the
+// trace-header-injecting helper.
+func (c *Config) Cluster(pkg *Package) bool {
+	return matchesAny(pkg.PkgPath, c.ClusterPkgs)
+}
+
 // Analyzers returns every analyzer in stable (presentation) order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -231,6 +245,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerSpanEnd,
 		AnalyzerErrEnvelope,
 		AnalyzerFsyncDir,
+		AnalyzerTracePropagation,
 	}
 }
 

@@ -19,7 +19,7 @@ import (
 var fixtureNames = []string{
 	"rand", "timenow", "maporder", "locks",
 	"gofunc", "metricname", "spanend", "errenvelope",
-	"coordenvelope", "fsyncdir",
+	"coordenvelope", "fsyncdir", "tracepropagation",
 }
 
 const fixturePathPrefix = "repro/internal/lint/testdata/src/"
@@ -78,6 +78,7 @@ func loadFixtures(t *testing.T) ([]*lint.Package, *lint.Config) {
 			fixturePathPrefix + "coordenvelope",
 		},
 		DurablePkgs: []string{fixturePathPrefix + "fsyncdir"},
+		ClusterPkgs: []string{fixturePathPrefix + "tracepropagation"},
 		ObsPkg:      "repro/internal/obs",
 	}
 	return fixtures, cfg

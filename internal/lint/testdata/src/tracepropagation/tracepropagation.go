@@ -1,0 +1,39 @@
+// Package tracepropfix is the pdflint fixture for the
+// tracepropagation analyzer: backend-bound requests in a cluster
+// package must be built by the header-injecting helper, never by a
+// raw http.NewRequest.
+package tracepropfix
+
+import (
+	"context"
+	"io"
+	"net/http"
+)
+
+// newOutboundRequest is the sanctioned construction site: the real
+// helper injects traceparent and X-Request-ID here.
+func newOutboundRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("traceparent", "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01")
+	return req, nil
+}
+
+// ProbeGood builds its request through the helper.
+func ProbeGood(ctx context.Context, url string) (*http.Request, error) {
+	return newOutboundRequest(ctx, http.MethodGet, url, nil)
+}
+
+// ProbeBad builds a raw request: no traceparent, no request ID — the
+// backend's spans detach from the caller's trace.
+func ProbeBad(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, http.MethodGet, url, nil) // want `bypasses the outbound-request helper`
+}
+
+// LegacyBad uses the context-free constructor; equally invisible to
+// the trace.
+func LegacyBad(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil) // want `bypasses the outbound-request helper`
+}

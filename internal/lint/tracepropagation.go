@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AnalyzerTracePropagation polices context propagation on the
+// cluster's outbound requests: every backend-bound HTTP request must
+// carry the W3C traceparent and the forwarded X-Request-ID, and the
+// only place those headers are injected is the coordinator's single
+// request constructor. The analyzer therefore flags any call to
+// http.NewRequest / http.NewRequestWithContext in a cluster package
+// that is not inside that constructor (the project convention is
+// newOutboundRequest; any function whose name contains
+// "outboundrequest" counts, case-insensitive). A raw NewRequest
+// elsewhere ships a request with no trace identity, and the backend's
+// spans silently detach from the caller's trace.
+var AnalyzerTracePropagation = &Analyzer{
+	Name: "tracepropagation",
+	Doc:  "raw http.NewRequest in a cluster package outside the trace-header-injecting helper",
+	Run:  runTracePropagation,
+}
+
+func runTracePropagation(pass *Pass) {
+	if !pass.Config.Cluster(pass.Pkg) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			if isOutboundHelper(fd.Name.Name) {
+				continue // the one sanctioned construction site
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, isCall := n.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				pkgPath, name, ok := pkgFuncCall(pass, file, call)
+				if ok && pkgPath == "net/http" && strings.HasPrefix(name, "NewRequest") {
+					pass.Reportf(call.Pos(),
+						"http.%s bypasses the outbound-request helper: build backend requests with newOutboundRequest so they carry traceparent and X-Request-ID", name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isOutboundHelper matches the sanctioned constructor by name
+// convention: newOutboundRequest, NewOutboundRequest, ...
+func isOutboundHelper(name string) bool {
+	return strings.Contains(strings.ToLower(name), "outboundrequest")
+}

@@ -100,7 +100,7 @@ func (g *gcPauseHistogram) expose(w io.Writer) error {
 		sum:     sum,
 		count:   total,
 	}
-	return hist.exposeRows(w, nil, nil)
+	return hist.exposeRows(w, nil, nil, false)
 }
 
 // midpoint approximates a value inside [lo, hi), degrading to the

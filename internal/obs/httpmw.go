@@ -58,6 +58,11 @@ func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter 
 //   - request-ID correlation: an incoming X-Request-ID is honored,
 //     otherwise one is generated; it is placed in the request context
 //     (RequestID) and echoed in the X-Request-ID response header;
+//   - trace-context extraction: a well-formed incoming W3C
+//     traceparent header is parsed into the context (TraceContextFrom)
+//     so handlers can graft their spans under the caller's trace; a
+//     malformed or absent header leaves the context bare — minting is
+//     the edge's (the coordinator's) job, not every hop's;
 //   - an access-log record per request (route, method, path, status,
 //     duration, remote, request ID) on log;
 //   - the HTTPMetrics counter and latency histogram, labeled with the
@@ -73,8 +78,12 @@ func Middleware(route string, log *slog.Logger, metrics *HTTPMetrics, next http.
 			reqID = NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", reqID)
+		ctx := WithRequestID(r.Context(), reqID)
+		if tc, ok := ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
+			ctx = WithTraceContext(ctx, tc)
+		}
 		rec := &statusRecorder{ResponseWriter: w}
-		next.ServeHTTP(rec, r.WithContext(WithRequestID(r.Context(), reqID)))
+		next.ServeHTTP(rec, r.WithContext(ctx))
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}

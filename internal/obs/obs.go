@@ -38,6 +38,7 @@ const (
 	requestIDKey ctxKey = iota
 	traceKey
 	spanKey
+	traceCtxKey
 )
 
 // WithRequestID returns a context carrying the request ID.

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefBuckets are the default latency histogram buckets, in seconds,
@@ -90,6 +91,42 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// openMetricsCollector is implemented by collectors whose OpenMetrics
+// exposition differs from the 0.0.4 text format (histograms, which
+// carry exemplars there).
+type openMetricsCollector interface {
+	exposeOM(w io.Writer) error
+}
+
+// OpenMetricsContentType is the Content-Type of WriteOpenMetrics
+// output, matched against Accept headers by the metrics handlers.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics serializes every registered family in the
+// OpenMetrics flavor of the text format: the same families and rows as
+// WritePrometheus, plus per-bucket exemplars on histograms (linking a
+// bucket to a retained trace ID) and the terminating "# EOF" marker.
+// The 0.0.4 format has no exemplar syntax, which is why this is a
+// separate, Accept-negotiated exposition.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]Collector(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		var err error
+		if om, ok := f.(openMetricsCollector); ok {
+			err = om.exposeOM(w)
+		} else {
+			err = f.expose(w)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
 }
 
 func formatFloat(v float64) string {
@@ -331,10 +368,20 @@ type Histogram struct {
 	name, help string
 	buckets    []float64 // upper bounds, ascending, +Inf implicit
 
-	mu     sync.Mutex
-	counts []uint64 // len(buckets)+1; last is +Inf
-	sum    float64
-	count  uint64
+	mu        sync.Mutex
+	counts    []uint64 // len(buckets)+1; last is +Inf
+	sum       float64
+	count     uint64
+	exemplars []exemplar // lazily len(buckets)+1; last observation per bucket
+}
+
+// exemplar links one bucket to the trace that last landed in it, in
+// the OpenMetrics sense: rendered as
+// `# {trace_id="..."} value timestamp` after the bucket row.
+type exemplar struct {
+	traceID string
+	value   float64
+	ts      float64 // unix seconds
 }
 
 // NewHistogram builds a histogram with the given upper bounds (nil
@@ -360,6 +407,28 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
+// ObserveExemplar records one value and attaches the trace ID as the
+// bucket's exemplar (replacing any previous one — "a recent trace
+// that landed here" is the contract). An empty traceID degrades to
+// Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if traceID == "" {
+		h.Observe(v)
+		return
+	}
+	i := sort.SearchFloat64s(h.buckets, v)
+	ts := float64(time.Now().UnixMilli()) / 1000
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	if h.exemplars == nil {
+		h.exemplars = make([]exemplar, len(h.counts))
+	}
+	h.exemplars[i] = exemplar{traceID: traceID, value: v, ts: ts}
+	h.mu.Unlock()
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	h.mu.Lock()
@@ -373,28 +442,48 @@ func (h *Histogram) expose(w io.Writer) error {
 	if err := header(w, h.name, h.help, "histogram"); err != nil {
 		return err
 	}
-	return h.exposeRows(w, nil, nil)
+	return h.exposeRows(w, nil, nil, false)
+}
+
+func (h *Histogram) exposeOM(w io.Writer) error {
+	if err := header(w, h.name, h.help, "histogram"); err != nil {
+		return err
+	}
+	return h.exposeRows(w, nil, nil, true)
 }
 
 // exposeRows writes the bucket/sum/count rows with optional extra
-// labels (used by HistogramVec).
-func (h *Histogram) exposeRows(w io.Writer, labelNames, labelValues []string) error {
+// labels (used by HistogramVec). withExemplars appends the OpenMetrics
+// exemplar suffix to bucket rows that have one; the 0.0.4 exposition
+// must not, since "#" starts a comment there.
+func (h *Histogram) exposeRows(w io.Writer, labelNames, labelValues []string, withExemplars bool) error {
 	h.mu.Lock()
 	counts := append([]uint64(nil), h.counts...)
 	sum, count := h.sum, h.count
+	var exs []exemplar
+	if withExemplars && h.exemplars != nil {
+		exs = append([]exemplar(nil), h.exemplars...)
+	}
 	h.mu.Unlock()
+	exemplarSuffix := func(i int) string {
+		if exs == nil || exs[i].traceID == "" {
+			return ""
+		}
+		return fmt.Sprintf(` # {trace_id="%s"} %s %s`,
+			escapeLabel(exs[i].traceID), formatFloat(exs[i].value), strconv.FormatFloat(exs[i].ts, 'f', 3, 64))
+	}
 	cum := uint64(0)
 	names := append(append([]string(nil), labelNames...), "le")
 	for i, ub := range h.buckets {
 		cum += counts[i]
 		values := append(append([]string(nil), labelValues...), formatFloat(ub))
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, labelPairs(names, values), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", h.name, labelPairs(names, values), cum, exemplarSuffix(i)); err != nil {
 			return err
 		}
 	}
 	cum += counts[len(h.buckets)]
 	values := append(append([]string(nil), labelValues...), "+Inf")
-	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, labelPairs(names, values), cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", h.name, labelPairs(names, values), cum, exemplarSuffix(len(h.buckets))); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", h.name, labelPairs(labelNames, labelValues), formatFloat(sum)); err != nil {
@@ -446,7 +535,10 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 
 func (v *HistogramVec) familyName() string { return v.name }
 
-func (v *HistogramVec) expose(w io.Writer) error {
+func (v *HistogramVec) expose(w io.Writer) error   { return v.exposeAll(w, false) }
+func (v *HistogramVec) exposeOM(w io.Writer) error { return v.exposeAll(w, true) }
+
+func (v *HistogramVec) exposeAll(w io.Writer, withExemplars bool) error {
 	if err := header(w, v.name, v.help, "histogram"); err != nil {
 		return err
 	}
@@ -462,7 +554,7 @@ func (v *HistogramVec) expose(w io.Writer) error {
 	}
 	v.mu.Unlock()
 	for _, c := range children {
-		if err := c.metric.exposeRows(w, v.labels, c.values); err != nil {
+		if err := c.metric.exposeRows(w, v.labels, c.values, withExemplars); err != nil {
 			return err
 		}
 	}

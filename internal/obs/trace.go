@@ -43,16 +43,64 @@ type Trace struct {
 	nextID  int
 	spans   []*Span
 	dropped int
+
+	// Distributed identity: tc.TraceID names the whole cross-node
+	// trace, tc.SpanID this trace's own hop; parentSpanID is the
+	// caller's span when the trace was adopted from a remote
+	// traceparent (empty at a trace root).
+	tc           TraceContext
+	parentSpanID string
 }
 
 // NewTrace starts an empty trace whose span offsets are measured from
-// now. limit <= 0 uses DefaultSpanLimit; past the limit StartSpan
-// stops recording and counts the drops instead.
+// now, under a freshly minted (sampled) trace identity. limit <= 0
+// uses DefaultSpanLimit; past the limit StartSpan stops recording and
+// counts the drops instead.
 func NewTrace(limit int) *Trace {
 	if limit <= 0 {
 		limit = DefaultSpanLimit
 	}
-	return &Trace{origin: time.Now(), limit: limit}
+	return &Trace{origin: time.Now(), limit: limit, tc: NewTraceContext(true)}
+}
+
+// Adopt grafts the trace under a remote caller's identity: it takes
+// the caller's trace ID and sampling decision, records the caller's
+// span as the parent, and keeps its own span ID for onward hops. A
+// no-op for an invalid remote context.
+func (t *Trace) Adopt(remote TraceContext) {
+	if t == nil || !remote.Valid() {
+		return
+	}
+	t.mu.Lock()
+	t.tc.TraceID = remote.TraceID
+	t.tc.Sampled = remote.Sampled
+	t.parentSpanID = remote.SpanID
+	t.mu.Unlock()
+}
+
+// Context returns the trace's own identity — what the next outbound
+// hop should carry as its traceparent parent.
+func (t *Trace) Context() TraceContext {
+	if t == nil {
+		return TraceContext{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tc
+}
+
+// ID returns the W3C trace ID (32 hex chars), or "" on a nil trace.
+func (t *Trace) ID() string { return t.Context().TraceID }
+
+// SetSampled overrides the sampling decision (the engine applies its
+// head-sampling rate to root traces it mints itself).
+func (t *Trace) SetSampled(v bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tc.Sampled = v
+	t.mu.Unlock()
 }
 
 // Span is one timed operation inside a trace. A nil *Span is a valid
@@ -96,6 +144,9 @@ func Transplant(dst, src context.Context) context.Context {
 	}
 	if id := RequestID(src); id != "" {
 		dst = WithRequestID(dst, id)
+	}
+	if tc, ok := TraceContextFrom(src); ok {
+		dst = WithTraceContext(dst, tc)
 	}
 	return dst
 }
@@ -176,10 +227,18 @@ type SpanView struct {
 }
 
 // TraceView is the serializable snapshot of a whole trace, in span
-// start order (parents always precede their children).
+// start order (parents always precede their children). TraceID /
+// ParentSpanID / Sampled carry the W3C identity; OriginUnixMS anchors
+// the relative span offsets to this node's wall clock so traces from
+// different nodes can be merged (after skew correction).
 type TraceView struct {
-	Spans   []SpanView `json:"spans"`
-	Dropped int        `json:"dropped,omitempty"`
+	TraceID      string     `json:"trace_id,omitempty"`
+	SpanID       string     `json:"span_id,omitempty"`
+	ParentSpanID string     `json:"parent_span_id,omitempty"`
+	Sampled      bool       `json:"sampled,omitempty"`
+	OriginUnixMS int64      `json:"origin_unix_ms,omitempty"`
+	Spans        []SpanView `json:"spans"`
+	Dropped      int        `json:"dropped,omitempty"`
 }
 
 // Snapshot returns a consistent copy of the trace, safe to marshal
@@ -190,7 +249,15 @@ func (t *Trace) Snapshot() TraceView {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	v := TraceView{Spans: make([]SpanView, len(t.spans)), Dropped: t.dropped}
+	v := TraceView{
+		TraceID:      t.tc.TraceID,
+		SpanID:       t.tc.SpanID,
+		ParentSpanID: t.parentSpanID,
+		Sampled:      t.tc.Sampled,
+		OriginUnixMS: t.origin.UnixMilli(),
+		Spans:        make([]SpanView, len(t.spans)),
+		Dropped:      t.dropped,
+	}
 	for i, s := range t.spans {
 		sv := SpanView{
 			ID:      s.id,

@@ -61,7 +61,7 @@ func TestSpanNoTraceIsNoop(t *testing.T) {
 	if s != nil {
 		t.Fatal("expected nil span without a trace")
 	}
-	s.End()             // nil-safe
+	s.End()                 // nil-safe
 	s.SetAttrs(Int("x", 1)) // nil-safe
 	if ctx != context.Background() {
 		t.Error("context changed without a trace")

@@ -48,6 +48,12 @@ type Case struct {
 	Heuristic string      `json:"heuristic,omitempty"`
 	Collapse  bool        `json:"collapse,omitempty"`
 	UseBnB    bool        `json:"bnb,omitempty"`
+	// Traced submits the job under a sampled W3C trace context, the way
+	// a coordinator-routed submission arrives: the job adopts the remote
+	// identity and its completion feeds the tail-retention buffer and
+	// histogram exemplars. The case exists to keep that bookkeeping
+	// visible to the regression gate.
+	Traced bool `json:"traced,omitempty"`
 }
 
 // DefaultSuite is the benchmark suite of `make bench`: the real c17
@@ -62,6 +68,7 @@ func DefaultSuite() []Case {
 		{Name: "s953-enrich", Kind: engine.KindEnrich, Circuit: "s953", NP: 1000, NP0: 200, Seed: 1},
 		{Name: "b09-generate", Kind: engine.KindGenerate, Circuit: "b09", NP: 500, NP0: 30, Seed: 1},
 		{Name: "s1196-enrich-bnb", Kind: engine.KindEnrich, Circuit: "s1196", NP: 1000, NP0: 10, Seed: 1, UseBnB: true},
+		{Name: "c17-generate-traced", Kind: engine.KindGenerate, Circuit: "c17", NP0: 4, Seed: 1, Traced: true},
 	}
 }
 
@@ -152,13 +159,17 @@ func runCase(ctx context.Context, e *engine.Engine, c Case, reps int, log io.Wri
 		Workers: 1, NoCache: true,
 	}
 	cr := &CaseResult{Name: c.Name, Kind: c.Kind, Circuit: c.Circuit, Reps: reps}
+	runCtx := ctx
+	if c.Traced {
+		runCtx = obs.WithTraceContext(ctx, obs.NewTraceContext(true))
+	}
 	var wallSum float64
 	var ms runtime.MemStats
 	for rep := 0; rep < reps; rep++ {
 		runtime.ReadMemStats(&ms)
 		allocBefore := ms.TotalAlloc
 		start := time.Now()
-		v, err := e.RunJob(ctx, spec)
+		v, err := e.RunJob(runCtx, spec)
 		wall := time.Since(start).Seconds()
 		if err != nil {
 			return nil, err
