@@ -13,19 +13,21 @@ test: build
 	$(GO) test ./...
 
 # The project-invariant static analysis (internal/lint + cmd/pdflint):
-# determinism, lock discipline, goroutine hygiene, obs hygiene.
-# Nonzero exit on any finding; see README "Static analysis".
+# determinism, lock discipline, goroutine hygiene, obs hygiene, plus
+# the interprocedural facts engine (lockorder, ctxflow, nondetflow,
+# closeleak). Nonzero exit on any finding; also emits pdflint.sarif
+# for CI code-scanning upload. See README "Static analysis".
 lint:
-	$(GO) run ./cmd/pdflint ./...
+	$(GO) run ./cmd/pdflint -sarif pdflint.sarif ./...
 
 # The concurrency-bearing packages under the race detector (cheap;
-# always part of check): the engine and its fault simulator, plus the
-# event bus, journal and retry packages the lock-discipline analyzer
-# reasons about.
+# always part of check). The list is derived from the module itself:
+# `pdflint -concurrent` prints every package whose syntax bears a go
+# statement, channel op, select or sync primitive, so a new concurrent
+# package cannot silently skip the race detector. Falls back to ./...
+# if the derivation fails.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/faultsim/... \
-		./internal/events/... ./internal/journal/... ./internal/retry/... \
-		./internal/cluster/... ./internal/store/... ./internal/chaosnet/...
+	$(GO) test -race $$($(GO) run ./cmd/pdflint -concurrent ./... || echo ./...)
 
 # The fault-injection suite: panic containment, retry/backoff, crash +
 # journal replay, load shedding — twice under the race detector.

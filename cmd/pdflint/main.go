@@ -32,12 +32,17 @@ func main() {
 
 func run() int {
 	var (
-		jsonOut = flag.Bool("json", false, "emit the machine-readable report (schema in API.md)")
+		jsonOut = flag.Bool("json", false, "emit the machine-readable report (schema v2 in API.md)")
+		format  = flag.String("format", "", "output format: text, json, or sarif (overrides -json)")
+		sarifTo = flag.String("sarif", "", "also write a SARIF 2.1.0 report to this file")
 		enable  = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
 		disable = flag.String("disable", "", "comma-separated analyzers to skip")
 		list    = flag.Bool("list", false, "list analyzers and exit")
 		verbose = flag.Bool("v", false, "also print suppressed findings with their reasons")
 		root    = flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
+		facts   = flag.Bool("facts", false, "dump the interprocedural per-function summaries and exit")
+		whyID   = flag.String("why", "", "print the propagation chain behind the finding with this id")
+		conc    = flag.Bool("concurrent", false, "print import paths of concurrency-bearing packages and exit (make race)")
 	)
 	flag.Parse()
 
@@ -46,6 +51,12 @@ func run() int {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	switch *format {
+	case "", "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "pdflint: unknown -format %q (text, json, sarif)\n", *format)
+		return 2
 	}
 
 	analyzers, err := lint.Select(*enable, *disable)
@@ -82,20 +93,87 @@ func run() int {
 		return 2
 	}
 
+	if *conc {
+		for _, path := range lint.ConcurrentPackages(pkgs) {
+			fmt.Println(path)
+		}
+		return 0
+	}
+	if *facts {
+		f := lint.BuildFacts(pkgs, lint.DefaultConfig())
+		f.Dump(os.Stdout, modRoot)
+		return 0
+	}
+
 	res := lint.Run(pkgs, analyzers, lint.DefaultConfig())
 	rep := res.Report(modRoot)
-	if *jsonOut {
+
+	if *whyID != "" {
+		return explain(rep, *whyID)
+	}
+	if *sarifTo != "" {
+		sf, err := os.Create(*sarifTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdflint:", err)
+			return 2
+		}
+		if err := rep.WriteSARIF(sf); err != nil {
+			sf.Close()
+			fmt.Fprintln(os.Stderr, "pdflint:", err)
+			return 2
+		}
+		if err := sf.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pdflint:", err)
+			return 2
+		}
+	}
+
+	out := *format
+	if out == "" {
+		if *jsonOut {
+			out = "json"
+		} else {
+			out = "text"
+		}
+	}
+	switch out {
+	case "json":
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "pdflint:", err)
 			return 2
 		}
-	} else {
+	case "sarif":
+		if err := rep.WriteSARIF(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pdflint:", err)
+			return 2
+		}
+	default:
 		rep.WriteText(os.Stdout, *verbose)
 	}
 	if !rep.Clean {
 		return 1
 	}
 	return 0
+}
+
+// explain prints the provenance chain behind one finding (-why).
+func explain(rep *lint.JSONReport, id string) int {
+	for _, d := range rep.Diagnostics {
+		if d.ID != id {
+			continue
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		if len(d.Chain) == 0 {
+			fmt.Println("  (no interprocedural chain: intra-procedural finding)")
+			return 0
+		}
+		for i, f := range d.Chain {
+			fmt.Printf("  %d. %s (%s:%d)\n     %s\n", i+1, f.Func, f.File, f.Line, f.Note)
+		}
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "pdflint: no finding with id %q in this run (ids change when findings move)\n", id)
+	return 2
 }
 
 func findModuleRoot() (string, error) {

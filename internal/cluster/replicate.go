@@ -135,10 +135,14 @@ func (r *replicator) runWatch(ctx context.Context, backendName, rawID, digest st
 				r.failures.Add(1)
 				return
 			}
+			// A timer per retry (not time.After) so the cancel path does
+			// not leave a running timer behind for the full wait.
+			retry := time.NewTimer(wait)
 			select {
 			case <-ctx.Done():
+				retry.Stop()
 				return
-			case <-time.After(wait):
+			case <-retry.C:
 			}
 			continue
 		}

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestWatchRetryCancelDuringBackoff pins the watcher's retry path:
+// when the executing backend is unreachable, runWatch backs off for
+// wait (RequestTimeout/2 — 15s at defaults) between polls, and a
+// coordinator shutdown mid-backoff must end the watch immediately
+// with nothing left running. The backoff timer is an explicitly
+// stopped time.NewTimer rather than time.After precisely so cancel
+// leaves no timer behind for the rest of the wait; pdflint's
+// closeleak analyzer (time.After-in-a-loop) guards the idiom against
+// regression, this test the prompt-cancel behavior.
+func TestWatchRetryCancelDuringBackoff(t *testing.T) {
+	c, _, backs := newFleet(t, 1)
+	// Kill the backend so the first poll fails and the watch enters
+	// its retry backoff (Close is idempotent; Cleanup closes again).
+	backs[0].srv.Close()
+
+	r := newReplicator(c, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.runWatch(ctx, "b0", "job-1", "digest")
+	}()
+
+	// Let the failed poll land and the backoff start.
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("runWatch did not return after cancel during retry backoff")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("runWatch took %v to observe cancel; want immediate return", el)
+	}
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerCtxFlow enforces cancellation plumbing in long-lived
+// packages: a function that receives a context.Context must thread it
+// into every blocking callee that accepts one — calling a callee the
+// facts engine proved blocking (directly or transitively) with a
+// fresh context.Background()/context.TODO() severs the caller's
+// cancellation chain, and a daemon shutdown then hangs on that call.
+// The diagnostic's chain shows why the callee blocks.
+var AnalyzerCtxFlow = &Analyzer{
+	Name:      "ctxflow",
+	Doc:       "context.Context received but a blocking callee gets context.Background()/TODO()",
+	RunModule: runCtxFlow,
+}
+
+func runCtxFlow(mp *ModulePass) {
+	for _, n := range mp.Facts.Graph.Nodes {
+		if !mp.Config.LongLived(n.Pkg) || len(n.Summary.CtxParams) == 0 {
+			continue
+		}
+		pass := &Pass{Pkg: n.Pkg}
+		for _, cs := range n.Calls {
+			callee := cs.Callee
+			if !callee.Summary.Blocking || len(callee.Summary.CtxParams) == 0 {
+				continue
+			}
+			ctxIdx := callee.Summary.CtxParams[0]
+			if ctxIdx >= len(cs.Call.Args) {
+				continue
+			}
+			arg := cs.Call.Args[ctxIdx]
+			if !isFreshContext(pass, n.File, arg) {
+				continue
+			}
+			chain := []ChainFrame{mp.Facts.frame(cs.Pos, n.Key, "calls "+shortKey(callee.Key)+" with a fresh context")}
+			chain = append(chain, mp.Facts.BlockingChain(callee)...)
+			mp.Report(arg.Pos(), chain,
+				"%s receives a context.Context but calls blocking %s with %s; thread the caller's ctx so cancellation reaches it (blocks via %s)",
+				shortKey(n.Key), shortKey(callee.Key), exprString(arg), callee.Summary.BlockingWhy)
+		}
+	}
+}
+
+// isFreshContext reports whether arg is a context.Background() or
+// context.TODO() call — a cancellation chain deliberately cut.
+func isFreshContext(pass *Pass, file *ast.File, arg ast.Expr) bool {
+	call, isCall := ast.Unparen(arg).(*ast.CallExpr)
+	if !isCall {
+		return false
+	}
+	pkgPath, name, ok := pkgFuncCall(pass, file, call)
+	return ok && pkgPath == "context" && (name == "Background" || name == "TODO")
+}

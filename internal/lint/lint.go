@@ -62,6 +62,21 @@ type Package struct {
 	imports []string // module-local imports, for topological loading
 }
 
+// ChainFrame is one step of a diagnostic's provenance: the function a
+// propagated fact passed through and why. Interprocedural analyzers
+// attach the full call chain that produced a finding (JSON schema v2,
+// SARIF codeFlows, pdflint -why).
+type ChainFrame struct {
+	// Func is the function key in short form ("(*engine.Engine).Submit").
+	Func string `json:"func"`
+	// File/Line position the relevant call or operation.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Note says what the frame contributes ("calls journal.Append",
+	// "time.Sleep", "acquires engine.Engine.mu").
+	Note string `json:"note"`
+}
+
 // Diagnostic is one finding, positioned at file:line:col.
 type Diagnostic struct {
 	Pos      token.Position `json:"-"`
@@ -70,6 +85,13 @@ type Diagnostic struct {
 	Col      int            `json:"col"`
 	Analyzer string         `json:"analyzer"`
 	Message  string         `json:"message"`
+	// ID is the stable finding identifier (hash of analyzer, relative
+	// path, position and message), filled in by Result.Report; pdflint
+	// -why resolves it back to this diagnostic's Chain.
+	ID string `json:"id,omitempty"`
+	// Chain is the interprocedural provenance, outermost frame first.
+	// Empty for the intra-procedural analyzers.
+	Chain []ChainFrame `json:"chain,omitempty"`
 }
 
 func (d Diagnostic) String() string {
@@ -86,7 +108,9 @@ type Suppression struct {
 	Message  string `json:"message"`
 }
 
-// Analyzer is one named check.
+// Analyzer is one named check. Exactly one of Run and RunModule is
+// set: Run sees one package at a time, RunModule sees the whole
+// module through the facts engine.
 type Analyzer struct {
 	// Name is the flag / directive name ("maporder").
 	Name string
@@ -94,6 +118,9 @@ type Analyzer struct {
 	Doc string
 	// Run inspects pass.Pkg and reports findings via pass.Reportf.
 	Run func(pass *Pass)
+	// RunModule inspects the whole module's facts (interprocedural
+	// analyzers: lockorder, ctxflow, nondetflow, closeleak).
+	RunModule func(mp *ModulePass)
 }
 
 // Pass is one (analyzer, package) execution.
@@ -115,6 +142,31 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Col:      position.Column,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass is one module-wide analyzer execution over the computed
+// facts.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Facts    *Facts
+	Config   *Config
+
+	diags []Diagnostic
+}
+
+// Report records a diagnostic at pos with its provenance chain
+// (outermost frame first; nil for chain-less findings).
+func (mp *ModulePass) Report(pos token.Pos, chain []ChainFrame, format string, args ...any) {
+	position := mp.Facts.Fset.Position(pos)
+	mp.diags = append(mp.diags, Diagnostic{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: mp.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
 	})
 }
 
@@ -163,6 +215,19 @@ type Config struct {
 	// ObsPkg is the import path of the observability package whose
 	// metric constructors and StartSpan the obs analyzers recognize.
 	ObsPkg string
+	// LockOrderPkgs are the packages whose lock acquisitions feed the
+	// global acquisition-order graph (lockorder analyzer).
+	LockOrderPkgs []string
+	// ResourcePkgs are the packages under close-on-all-paths
+	// discipline for response bodies, files and tickers (closeleak
+	// analyzer).
+	ResourcePkgs []string
+	// NondetSinks maps a determinism sink — a callee in go/types
+	// FullName form ("repro/internal/engine.SpecDigest",
+	// "(*repro/internal/store.Store).Put") — to the argument indices
+	// that must stay deterministic. nil/empty indices mean every
+	// argument (nondetflow analyzer).
+	NondetSinks map[string][]int
 }
 
 // DefaultConfig returns the project scoping (see package comment).
@@ -195,6 +260,29 @@ func DefaultConfig() *Config {
 			"repro/internal/cluster",
 		},
 		ObsPkg: "repro/internal/obs",
+		LockOrderPkgs: []string{
+			"repro/internal/engine",
+			"repro/internal/cluster",
+			"repro/internal/store",
+			"repro/internal/journal",
+		},
+		ResourcePkgs: []string{
+			"repro/internal",
+			"repro/cmd",
+			"repro/cli",
+		},
+		NondetSinks: map[string][]int{
+			// Digests key the result cache, journal replay equivalence
+			// and the perfreg baseline: every argument must be
+			// deterministic.
+			"repro/internal/engine.SpecDigest":    nil,
+			"repro/internal/engine.CircuitDigest": nil,
+			// Store and journal records replicate across the fleet;
+			// their keys must be derivable, not wall-clock or rand.
+			"(*repro/internal/store.Store).Put": {0},
+			"(*repro/internal/store.Store).Get": {0},
+			"(*repro/internal/journal.Log).Append": nil,
+		},
 	}
 }
 
@@ -233,6 +321,18 @@ func (c *Config) Cluster(pkg *Package) bool {
 	return matchesAny(pkg.PkgPath, c.ClusterPkgs)
 }
 
+// LockOrdered reports whether pkg's lock acquisitions participate in
+// the global acquisition-order graph.
+func (c *Config) LockOrdered(pkg *Package) bool {
+	return matchesAny(pkg.PkgPath, c.LockOrderPkgs)
+}
+
+// Resourceful reports whether pkg is under close-on-all-paths
+// discipline.
+func (c *Config) Resourceful(pkg *Package) bool {
+	return matchesAny(pkg.PkgPath, c.ResourcePkgs)
+}
+
 // Analyzers returns every analyzer in stable (presentation) order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -246,6 +346,10 @@ func Analyzers() []*Analyzer {
 		AnalyzerErrEnvelope,
 		AnalyzerFsyncDir,
 		AnalyzerTracePropagation,
+		AnalyzerLockOrder,
+		AnalyzerCtxFlow,
+		AnalyzerNondetFlow,
+		AnalyzerCloseLeak,
 	}
 }
 
@@ -306,30 +410,62 @@ func Select(enable, disable string) ([]*Analyzer, error) {
 type Result struct {
 	Diags      []Diagnostic
 	Suppressed []Suppression
+	// Facts is the interprocedural fact base, present when a module
+	// analyzer ran (pdflint -facts dumps it).
+	Facts *Facts
 }
 
 // Run executes the analyzers over the packages, applies //lint:ignore
-// suppressions, and returns the sorted result.
+// suppressions, and returns the sorted result. Per-package analyzers
+// run first; when any module-wide analyzer is selected the facts
+// engine runs once and every module analyzer shares its call graph
+// and summaries.
 func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) *Result {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
 	res := &Result{}
+	// Ignore directives are collected module-wide up front: module
+	// analyzers position findings in any file, so matching must not
+	// depend on which package loop we are in. File names are unique
+	// across packages, so merging is safe.
+	all := &ignoreSet{byFileLine: make(map[string]map[int]*ignoreDirective)}
 	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg)
-		for _, a := range analyzers {
+		for file, lines := range collectIgnores(pkg).byFileLine {
+			all.byFileLine[file] = lines
+		}
+	}
+	sift := func(diags []Diagnostic) {
+		for _, d := range diags {
+			if reason, ok := all.match(d); ok {
+				res.Suppressed = append(res.Suppressed, Suppression{
+					File: d.File, Line: d.Line, Analyzer: d.Analyzer,
+					Reason: reason, Message: d.Message,
+				})
+				continue
+			}
+			res.Diags = append(res.Diags, d)
+		}
+	}
+	var modAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			modAnalyzers = append(modAnalyzers, a)
+			continue
+		}
+		for _, pkg := range pkgs {
 			pass := &Pass{Analyzer: a, Pkg: pkg, Config: cfg}
 			a.Run(pass)
-			for _, d := range pass.diags {
-				if reason, ok := ignores.match(d); ok {
-					res.Suppressed = append(res.Suppressed, Suppression{
-						File: d.File, Line: d.Line, Analyzer: d.Analyzer,
-						Reason: reason, Message: d.Message,
-					})
-					continue
-				}
-				res.Diags = append(res.Diags, d)
-			}
+			sift(pass.diags)
+		}
+	}
+	if len(modAnalyzers) > 0 {
+		facts := BuildFacts(pkgs, cfg)
+		res.Facts = facts
+		for _, a := range modAnalyzers {
+			mp := &ModulePass{Analyzer: a, Facts: facts, Config: cfg}
+			a.RunModule(mp)
+			sift(mp.diags)
 		}
 	}
 	sortDiags(res.Diags)

@@ -20,6 +20,8 @@ var fixtureNames = []string{
 	"rand", "timenow", "maporder", "locks",
 	"gofunc", "metricname", "spanend", "errenvelope",
 	"coordenvelope", "fsyncdir", "tracepropagation",
+	"lockorder", "ctxflow", "ctxflow/dep",
+	"nondetflow", "nondetflow/dep", "closeleak",
 }
 
 const fixturePathPrefix = "repro/internal/lint/testdata/src/"
@@ -72,14 +74,23 @@ func loadFixtures(t *testing.T) ([]*lint.Package, *lint.Config) {
 			fixturePathPrefix + "timenow",
 			fixturePathPrefix + "maporder",
 		},
-		LongLivedPkgs: []string{fixturePathPrefix + "gofunc"},
+		LongLivedPkgs: []string{
+			fixturePathPrefix + "gofunc",
+			fixturePathPrefix + "ctxflow",
+		},
 		EnginePkgs: []string{
 			fixturePathPrefix + "errenvelope",
 			fixturePathPrefix + "coordenvelope",
 		},
-		DurablePkgs: []string{fixturePathPrefix + "fsyncdir"},
-		ClusterPkgs: []string{fixturePathPrefix + "tracepropagation"},
-		ObsPkg:      "repro/internal/obs",
+		DurablePkgs:   []string{fixturePathPrefix + "fsyncdir"},
+		ClusterPkgs:   []string{fixturePathPrefix + "tracepropagation"},
+		ObsPkg:        "repro/internal/obs",
+		LockOrderPkgs: []string{fixturePathPrefix + "lockorder"},
+		ResourcePkgs:  []string{fixturePathPrefix + "closeleak"},
+		NondetSinks: map[string][]int{
+			fixturePathPrefix + "nondetflow.Digest": nil,
+			fixturePathPrefix + "nondetflow.Put":    {0},
+		},
 	}
 	return fixtures, cfg
 }
@@ -208,6 +219,29 @@ func TestIgnoreSuppressesWithReason(t *testing.T) {
 			t.Errorf("suppressed diagnostic still reported: %s", d)
 		}
 	}
+
+	// The same regime must hold for the module-level (interprocedural)
+	// analyzers, whose findings land in any file of the module: the
+	// closeleak fixture suppresses a real os.File leak in place.
+	const wantModReason = "fixture demonstrates interprocedural suppression"
+	found = false
+	for _, s := range res.Suppressed {
+		if s.Analyzer == "closeleak" && s.Reason == wantModReason {
+			found = true
+			if !strings.Contains(s.Message, "os.File") {
+				t.Errorf("closeleak suppression recorded wrong message: %q", s.Message)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no closeleak suppression with reason %q recorded", wantModReason)
+	}
+	for _, d := range res.Diags {
+		if d.Analyzer == "closeleak" && d.Line > 0 &&
+			strings.Contains(d.Message, `"f"`) && strings.Contains(d.File, "closeleak") {
+			t.Errorf("suppressed closeleak diagnostic still reported: %s", d)
+		}
+	}
 }
 
 // TestSelect covers the per-analyzer enable/disable flags.
@@ -282,8 +316,8 @@ func TestJSONReport(t *testing.T) {
 	}
 	rep := res.Report(root)
 
-	if rep.Version != 1 {
-		t.Errorf("schema version = %d, want 1", rep.Version)
+	if rep.Version != 2 {
+		t.Errorf("schema version = %d, want 2", rep.Version)
 	}
 	if rep.Clean {
 		t.Error("fixture report claims clean")
@@ -324,8 +358,9 @@ func TestJSONReport(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
 		t.Fatalf("emitted JSON does not parse: %v", err)
 	}
-	if round.Version != 1 || round.Clean || len(round.Diagnostics) != len(rep.Diagnostics) {
-		t.Errorf("JSON roundtrip mismatch: %+v", round)
+	if round.Version != 2 || round.Clean || len(round.Diagnostics) != len(rep.Diagnostics) {
+		t.Errorf("JSON roundtrip mismatch: version=%d clean=%v diags=%d",
+			round.Version, round.Clean, len(round.Diagnostics))
 	}
 
 	// Text form: one file:line:col: [analyzer] line per diagnostic.
@@ -335,6 +370,164 @@ func TestJSONReport(t *testing.T) {
 	wantLine := fmt.Sprintf("%s:%d:%d: [%s]", first.File, first.Line, first.Col, first.Analyzer)
 	if !strings.Contains(txt.String(), wantLine) {
 		t.Errorf("text output missing %q:\n%s", wantLine, txt.String())
+	}
+}
+
+// TestFindingIDsAndChains pins the schema-v2 additions: every
+// diagnostic carries a stable 12-hex finding id (the -why handle),
+// ids are unique across the run, and the interprocedural analyzers
+// attach a provenance chain whose frames name function, file and line.
+func TestFindingIDsAndChains(t *testing.T) {
+	fixtures, cfg := loadFixtures(t)
+	res := lint.Run(fixtures, lint.Analyzers(), cfg)
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report(root)
+
+	idRE := regexp.MustCompile(`^[0-9a-f]{12}$`)
+	seen := make(map[string]string)
+	chained := make(map[string]bool)
+	for _, d := range rep.Diagnostics {
+		if !idRE.MatchString(d.ID) {
+			t.Errorf("diagnostic %s:%d has malformed id %q", d.File, d.Line, d.ID)
+		}
+		if prev, dup := seen[d.ID]; dup {
+			t.Errorf("finding id %s assigned to both %q and %q", d.ID, prev, d.Message)
+		}
+		seen[d.ID] = d.Message
+		if got := lint.FindingID(d); got != d.ID {
+			t.Errorf("FindingID not reproducible: report says %s, recompute says %s", d.ID, got)
+		}
+		for _, f := range d.Chain {
+			if f.Func == "" || f.File == "" || f.Line <= 0 || f.Note == "" {
+				t.Errorf("diagnostic %s has incomplete chain frame %+v", d.ID, f)
+			}
+			if filepath.IsAbs(f.File) {
+				t.Errorf("chain frame path not repo-relative: %s", f.File)
+			}
+		}
+		if len(d.Chain) > 0 {
+			chained[d.Analyzer] = true
+		}
+	}
+	// The interprocedural analyzers must explain themselves: each one
+	// attaches a chain to at least one fixture finding.
+	for _, a := range []string{"lockorder", "ctxflow", "nondetflow", "closeleak"} {
+		if !chained[a] {
+			t.Errorf("analyzer %s attached no provenance chain on its fixture", a)
+		}
+	}
+}
+
+// TestSARIFRoundTrip emits the SARIF 2.1.0 form of the fixture report
+// and re-parses it: schema pinned, one run, every analyzer present as
+// a rule, one result per diagnostic with matching rule linkage,
+// location and fingerprint, and code flows mirroring the chains.
+func TestSARIFRoundTrip(t *testing.T) {
+	fixtures, cfg := loadFixtures(t)
+	res := lint.Run(fixtures, lint.Analyzers(), cfg)
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report(root)
+
+	var buf bytes.Buffer
+	if err := rep.WriteSARIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+				CodeFlows           []struct {
+					ThreadFlows []struct {
+						Locations []json.RawMessage `json:"locations"`
+					} `json:"threadFlows"`
+				} `json:"codeFlows"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("emitted SARIF does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("SARIF version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("SARIF has %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "pdflint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	ruleIdx := make(map[string]int)
+	for i, r := range run.Tool.Driver.Rules {
+		ruleIdx[r.ID] = i
+	}
+	for _, a := range lint.Analyzers() {
+		if _, ok := ruleIdx[a.Name]; !ok {
+			t.Errorf("analyzer %s missing from SARIF rules", a.Name)
+		}
+	}
+	if len(run.Results) != len(rep.Diagnostics) {
+		t.Fatalf("SARIF has %d results, report has %d diagnostics",
+			len(run.Results), len(rep.Diagnostics))
+	}
+	for i, r := range run.Results {
+		d := rep.Diagnostics[i]
+		if r.RuleID != d.Analyzer || r.RuleIndex != ruleIdx[d.Analyzer] {
+			t.Errorf("result %d: ruleId=%q ruleIndex=%d, want %q %d",
+				i, r.RuleID, r.RuleIndex, d.Analyzer, ruleIdx[d.Analyzer])
+		}
+		if r.Level != "error" || r.Message.Text != d.Message {
+			t.Errorf("result %d: level=%q message mismatch", i, r.Level)
+		}
+		if len(r.Locations) != 1 ||
+			r.Locations[0].PhysicalLocation.ArtifactLocation.URI != d.File ||
+			r.Locations[0].PhysicalLocation.Region.StartLine != d.Line {
+			t.Errorf("result %d: location does not match %s:%d", i, d.File, d.Line)
+		}
+		if r.PartialFingerprints["pdflintFindingId"] != d.ID {
+			t.Errorf("result %d: fingerprint %q, want finding id %s",
+				i, r.PartialFingerprints["pdflintFindingId"], d.ID)
+		}
+		if len(d.Chain) > 0 {
+			if len(r.CodeFlows) != 1 || len(r.CodeFlows[0].ThreadFlows) != 1 ||
+				len(r.CodeFlows[0].ThreadFlows[0].Locations) != len(d.Chain) {
+				t.Errorf("result %d: code flow does not mirror the %d-frame chain", i, len(d.Chain))
+			}
+		} else if len(r.CodeFlows) != 0 {
+			t.Errorf("result %d: chainless diagnostic grew a code flow", i)
+		}
 	}
 }
 

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// AnalyzerLockOrder detects potential AB/BA deadlocks: it assembles
+// the global lock-acquisition-order graph — an edge A→B whenever some
+// synchronous path acquires lock class B while holding A, whether the
+// two Lock calls sit in the same function or B is taken three calls
+// deep — and reports every cycle, naming the witness chain for each
+// direction. Lock classes are (owner type, field) pairs, so two
+// instances of the same class are conflated (a soundness/precision
+// trade documented in DESIGN.md); goroutine-launched code contributes
+// its own intra-goroutine nesting but a `go` call under a held lock
+// does not export the spawner's held-set.
+var AnalyzerLockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "global lock-acquisition-order cycles (potential AB/BA deadlock) across call chains",
+	RunModule: runLockOrder,
+}
+
+func runLockOrder(mp *ModulePass) {
+	edges := mp.Facts.LockEdges()
+	adj := make(map[string][]*lockEdge)
+	for i := range edges {
+		e := &edges[i]
+		adj[e.from] = append(adj[e.from], e)
+	}
+	seen := make(map[string]bool) // canonical cycle -> reported
+	// Deterministic order: edges are already first-witness ordered.
+	for i := range edges {
+		e := &edges[i]
+		path := cyclePath(adj, e.to, e.from)
+		if path == nil {
+			continue
+		}
+		cycle := append([]*lockEdge{e}, path...)
+		key := canonicalCycle(cycle)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		mp.Report(cycle[0].pos, mp.cycleChain(cycle),
+			"lock order cycle: %s — acquisition order differs across paths; potential deadlock",
+			describeCycle(cycle))
+	}
+}
+
+// cyclePath finds a path from -> ... -> to over the edge set (DFS,
+// deterministic edge order), excluding the trivial empty path.
+func cyclePath(adj map[string][]*lockEdge, from, to string) []*lockEdge {
+	type frame struct {
+		node string
+		ei   int
+	}
+	visited := map[string]bool{from: true}
+	var stack []frame
+	var path []*lockEdge
+	stack = append(stack, frame{node: from})
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.node == to {
+			return path
+		}
+		advanced := false
+		for fr.ei < len(adj[fr.node]) {
+			e := adj[fr.node][fr.ei]
+			fr.ei++
+			if visited[e.to] && e.to != to {
+				continue
+			}
+			if e.to == to {
+				return append(path, e)
+			}
+			visited[e.to] = true
+			path = append(path, e)
+			stack = append(stack, frame{node: e.to})
+			advanced = true
+			break
+		}
+		if !advanced {
+			stack = stack[:len(stack)-1]
+			if len(path) > 0 {
+				path = path[:len(path)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalCycle keys a cycle independent of its starting edge.
+func canonicalCycle(cycle []*lockEdge) string {
+	classes := make([]string, 0, len(cycle))
+	for _, e := range cycle {
+		classes = append(classes, e.from)
+	}
+	sort.Strings(classes)
+	return strings.Join(classes, "→")
+}
+
+// describeCycle renders "A → B (pkg.Fn) → A (pkg.Gn)".
+func describeCycle(cycle []*lockEdge) string {
+	var b strings.Builder
+	b.WriteString(shortLock(cycle[0].from))
+	for _, e := range cycle {
+		b.WriteString(" → ")
+		b.WriteString(shortLock(e.to))
+		b.WriteString(" (in ")
+		b.WriteString(shortKey(e.node.Key))
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// cycleChain renders every edge of the cycle as provenance frames;
+// edges imported through a call site expand to the callee's
+// acquisition chain.
+func (mp *ModulePass) cycleChain(cycle []*lockEdge) []ChainFrame {
+	var chain []ChainFrame
+	for _, e := range cycle {
+		note := "acquires " + shortLock(e.to) + " while holding " + shortLock(e.from)
+		chain = append(chain, mp.Facts.frame(e.pos, e.node.Key, note))
+		if e.via != nil {
+			chain = append(chain, mp.Facts.AcquireChain(e.via.Callee, e.to)...)
+		}
+	}
+	return chain
+}

@@ -61,36 +61,37 @@ type lockFrame struct {
 }
 
 // mutexOp classifies call as a Lock/Unlock-family call on a mutex-ish
-// receiver, returning the receiver rendering.
-func (lf *lockFrame) mutexOp(call *ast.CallExpr) (recv, op string, ok bool) {
-	recvExpr, name, isMethod := methodCall(lf.pass, call)
+// receiver, returning the receiver expression. Shared between the
+// intra-procedural locks analyzer and the facts engine (facts.go).
+func mutexOp(pass *Pass, call *ast.CallExpr) (recv ast.Expr, op string, ok bool) {
+	recvExpr, name, isMethod := methodCall(pass, call)
 	if !isMethod || len(call.Args) != 0 {
-		return "", "", false
+		return nil, "", false
 	}
 	switch name {
 	case "Lock", "Unlock", "RLock", "RUnlock":
 	default:
-		return "", "", false
+		return nil, "", false
 	}
-	if !lf.mutexish(recvExpr, call) {
-		return "", "", false
+	if !mutexish(pass, recvExpr, call) {
+		return nil, "", false
 	}
-	return exprString(recvExpr), name, true
+	return recvExpr, name, true
 }
 
 // mutexish reports whether the Lock/Unlock receiver is (or embeds) a
 // sync mutex. With full type info this is exact; on partial info it
 // falls back to the project naming convention (mu / Mu / mutex /
 // lock) so a type error elsewhere cannot hide a violation.
-func (lf *lockFrame) mutexish(recv ast.Expr, call *ast.CallExpr) bool {
-	switch namedType(lf.pass.TypeOf(recv)) {
+func mutexish(pass *Pass, recv ast.Expr, call *ast.CallExpr) bool {
+	switch namedType(pass.TypeOf(recv)) {
 	case "sync.Mutex", "sync.RWMutex":
 		return true
 	}
-	if recvTypeIs(lf.pass, call, "sync.Mutex") || recvTypeIs(lf.pass, call, "sync.RWMutex") {
+	if recvTypeIs(pass, call, "sync.Mutex") || recvTypeIs(pass, call, "sync.RWMutex") {
 		return true
 	}
-	if lf.pass.TypeOf(recv) != nil {
+	if pass.TypeOf(recv) != nil {
 		return false // typed, and not a mutex (sync.Map, custom lockers...)
 	}
 	name := strings.ToLower(exprString(recv))
@@ -98,6 +99,16 @@ func (lf *lockFrame) mutexish(recv ast.Expr, call *ast.CallExpr) bool {
 		name = name[i+1:]
 	}
 	return name == "mu" || name == "mutex" || strings.HasSuffix(name, "mu") || strings.HasSuffix(name, "lock")
+}
+
+// mutexOpStr is mutexOp with the receiver rendered as a string (the
+// locks analyzer keys its held-set on the textual receiver).
+func (lf *lockFrame) mutexOp(call *ast.CallExpr) (recv, op string, ok bool) {
+	recvExpr, name, isOp := mutexOp(lf.pass, call)
+	if !isOp {
+		return "", "", false
+	}
+	return exprString(recvExpr), name, true
 }
 
 // block walks a statement list in order, threading the held-set.

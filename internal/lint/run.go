@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,9 +13,10 @@ import (
 // JSONReport is the stable `pdflint -json` schema (documented in
 // API.md, "Tooling appendix"). Version bumps only on breaking shape
 // changes; the bench harness archives this object verbatim alongside
-// BENCH snapshots.
+// BENCH snapshots. v2 adds per-finding stable IDs and interprocedural
+// provenance chains (the `id` and `chain` fields on diagnostics).
 type JSONReport struct {
-	// Version is the schema version (currently 1).
+	// Version is the schema version (currently 2).
 	Version int `json:"version"`
 	// Clean is true when no diagnostic survived suppression.
 	Clean bool `json:"clean"`
@@ -29,10 +32,11 @@ type JSONReport struct {
 }
 
 // Report converts a run result into the JSON schema, with file paths
-// rewritten relative to root (so output is stable across checkouts).
+// rewritten relative to root (so output is stable across checkouts)
+// and finding IDs computed over the relativized position.
 func (r *Result) Report(root string) *JSONReport {
 	rep := &JSONReport{
-		Version:     1,
+		Version:     2,
 		Clean:       len(r.Diags) == 0,
 		Diagnostics: make([]Diagnostic, 0, len(r.Diags)),
 		Suppressed:  make([]Suppression, 0, len(r.Suppressed)),
@@ -40,6 +44,15 @@ func (r *Result) Report(root string) *JSONReport {
 	}
 	for _, d := range r.Diags {
 		d.File = relPath(root, d.File)
+		if len(d.Chain) > 0 {
+			chain := make([]ChainFrame, len(d.Chain))
+			for i, f := range d.Chain {
+				f.File = relPath(root, f.File)
+				chain[i] = f
+			}
+			d.Chain = chain
+		}
+		d.ID = FindingID(d)
 		rep.Diagnostics = append(rep.Diagnostics, d)
 		rep.Counts[d.Analyzer]++
 	}
@@ -48,6 +61,16 @@ func (r *Result) Report(root string) *JSONReport {
 		rep.Suppressed = append(rep.Suppressed, s)
 	}
 	return rep
+}
+
+// FindingID derives the stable identifier of a diagnostic: the first
+// 12 hex digits of a SHA-256 over analyzer, (relative) file, position
+// and message. Stable across runs and checkouts; changes only when
+// the finding itself moves or reworded.
+func FindingID(d Diagnostic) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%d|%d|%s",
+		d.Analyzer, d.File, d.Line, d.Col, d.Message)))
+	return hex.EncodeToString(h[:6])
 }
 
 func relPath(root, path string) string {

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF 2.1.0 output (`pdflint -format sarif` / -sarif <file>): the
+// subset of the schema CI code-scanning uploads consume — one run,
+// one rule per analyzer, one result per diagnostic, with the
+// interprocedural provenance chain rendered as a codeFlow so viewers
+// show the whole call chain behind a finding.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	RuleIndex           int               `json:"ruleIndex"`
+	Level               string            `json:"level"`
+	Message             sarifMessage      `json:"message"`
+	Locations           []sarifLocation   `json:"locations"`
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
+	CodeFlows           []sarifCodeFlow   `json:"codeFlows,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifMessage `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifCodeFlow struct {
+	ThreadFlows []sarifThreadFlow `json:"threadFlows"`
+}
+
+type sarifThreadFlow struct {
+	Locations []sarifThreadFlowLoc `json:"locations"`
+}
+
+type sarifThreadFlowLoc struct {
+	Location sarifLocation `json:"location"`
+}
+
+// SARIF converts the (already relativized) report. Rules list every
+// known analyzer in presentation order so ruleIndex is stable whether
+// or not an analyzer fired.
+func (rep *JSONReport) SARIF() *sarifLog {
+	analyzers := Analyzers()
+	rules := make([]sarifRule, len(analyzers))
+	ruleIndex := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		rules[i] = sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}}
+		ruleIndex[a.Name] = i
+	}
+	results := make([]sarifResult, 0, len(rep.Diagnostics))
+	for _, d := range rep.Diagnostics {
+		r := sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ruleIndex[d.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: d.File},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		}
+		if d.ID != "" {
+			r.PartialFingerprints = map[string]string{"pdflintFindingId": d.ID}
+		}
+		if len(d.Chain) > 0 {
+			locs := make([]sarifThreadFlowLoc, 0, len(d.Chain))
+			for _, f := range d.Chain {
+				locs = append(locs, sarifThreadFlowLoc{Location: sarifLocation{
+					PhysicalLocation: sarifPhysical{
+						ArtifactLocation: sarifArtifact{URI: f.File},
+						Region:           sarifRegion{StartLine: f.Line},
+					},
+					Message: &sarifMessage{Text: f.Func + ": " + f.Note},
+				}})
+			}
+			r.CodeFlows = []sarifCodeFlow{{ThreadFlows: []sarifThreadFlow{{Locations: locs}}}}
+		}
+		results = append(results, r)
+	}
+	return &sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "pdflint", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// WriteSARIF renders the report as an indented SARIF 2.1.0 document.
+func (rep *JSONReport) WriteSARIF(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep.SARIF())
+}

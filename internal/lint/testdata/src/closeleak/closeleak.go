@@ -1,0 +1,127 @@
+// Package closeleak seeds resource-release violations: response
+// bodies, files and tickers that are not closed on every path —
+// including the early error-return between acquisition and the
+// eventual defer — plus the time.After-in-a-loop timer churn.
+package closeleak
+
+import (
+	"errors"
+	"net/http"
+	"os"
+	"time"
+)
+
+var errNotOK = errors.New("unexpected status")
+
+// earlyReturn leaks the body on the non-200 path: the deferred close
+// is installed after the early return.
+func earlyReturn(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req) // want `http\.Response\.Body "resp" acquired here is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return errNotOK
+	}
+	defer resp.Body.Close()
+	return nil
+}
+
+// deferredFirst installs the close before any early return: clean.
+func deferredFirst(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return errNotOK
+	}
+	return nil
+}
+
+// tickerLeak returns without stopping the ticker.
+func tickerLeak(stop chan struct{}) {
+	t := time.NewTicker(time.Second) // want `time\.Ticker "t" acquired here is not stopped on every path`
+	for {
+		select {
+		case <-t.C:
+		case <-stop:
+			return
+		}
+	}
+}
+
+// tickerStopped defers the Stop: clean.
+func tickerStopped(stop chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-stop:
+			return
+		}
+	}
+}
+
+// handoff passes the file to a callee whose summary proves it closes
+// that parameter: ownership transferred, clean.
+func handoff(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return consume(f)
+}
+
+// consume closes its parameter (ClosesParams fact).
+func consume(f *os.File) error {
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err := f.Read(buf)
+	return err
+}
+
+// returned transfers ownership to the caller: clean here.
+func returned(path string) (*os.File, error) {
+	return os.Open(path)
+}
+
+// nilGuarded closes behind a nil check: the only open path releases.
+func nilGuarded(c *http.Client, req *http.Request) {
+	resp, _ := c.Do(req)
+	if resp != nil {
+		resp.Body.Close()
+	}
+}
+
+// suppressedLeak is a real leak silenced in place; the run records
+// the reason (see TestIgnoreSuppressesWithReason).
+func suppressedLeak(path string) {
+	//lint:ignore closeleak fixture demonstrates interprocedural suppression
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	f.Name()
+}
+
+// afterInLoop allocates a timer per retry that lives until it fires.
+func afterInLoop(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.After(time.Minute): // want `time\.After in a loop allocates a timer every iteration`
+		}
+	}
+}
+
+// afterOnce outside a loop is fine.
+func afterOnce(done chan struct{}) {
+	select {
+	case <-done:
+	case <-time.After(time.Minute):
+	}
+}

@@ -1,0 +1,45 @@
+// Package ctxflow seeds dropped-context violations: functions that
+// receive a context.Context but call a blocking callee (proven
+// blocking by the facts engine, here across a package boundary) with
+// a fresh context.Background()/TODO(), severing cancellation.
+package ctxflow
+
+import (
+	"context"
+
+	"repro/internal/lint/testdata/src/ctxflow/dep"
+)
+
+// run drops its caller's ctx on a cross-package blocking callee.
+func run(ctx context.Context) error {
+	return dep.Poll(context.Background()) // want `calls blocking .*dep\.Poll with context\.Background`
+}
+
+// retryLoop drops ctx with TODO on a same-package callee that blocks
+// transitively (settle -> dep.Poll).
+func retryLoop(ctx context.Context) error {
+	return settle(context.TODO()) // want `calls blocking .*settle with context\.TODO`
+}
+
+func settle(ctx context.Context) error {
+	return dep.Poll(ctx)
+}
+
+// threaded passes the caller's ctx everywhere: clean.
+func threaded(ctx context.Context) error {
+	if err := settle(ctx); err != nil {
+		return err
+	}
+	return dep.Poll(ctx)
+}
+
+// nonBlocking hands a fresh context to a non-blocking callee: the
+// facts engine proves Quick never blocks, so no diagnostic.
+func nonBlocking(ctx context.Context) error {
+	return dep.Quick(context.Background())
+}
+
+// noCtxParam has no context of its own to thread; out of scope.
+func noCtxParam() error {
+	return dep.Poll(context.Background())
+}

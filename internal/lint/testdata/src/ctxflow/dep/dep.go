@@ -1,0 +1,21 @@
+// Package dep is the cross-package blocking callee for the ctxflow
+// fixture: Poll is proven blocking by the facts engine (time.Sleep)
+// and accepts a context, so callers must thread theirs in.
+package dep
+
+import (
+	"context"
+	"time"
+)
+
+// Poll blocks between attempts.
+func Poll(ctx context.Context) error {
+	time.Sleep(10 * time.Millisecond)
+	return ctx.Err()
+}
+
+// Quick does not block; handing it a fresh context is fine as far as
+// ctxflow is concerned.
+func Quick(ctx context.Context) error {
+	return ctx.Err()
+}

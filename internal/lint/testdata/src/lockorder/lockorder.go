@@ -1,0 +1,46 @@
+// Package lockorder seeds an AB/BA lock-acquisition-order cycle for
+// the lockorder analyzer: one path locks A then B in the same
+// function, the other locks B and then acquires A through a callee —
+// the cycle is only visible interprocedurally.
+package lockorder
+
+import "sync"
+
+type apool struct{ mu sync.Mutex }
+
+type bpool struct{ mu sync.Mutex }
+
+var a apool
+
+var b bpool
+
+// abPath nests B under A directly.
+func abPath() {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock order cycle`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// baPath holds B and acquires A three frames away.
+func baPath() {
+	b.mu.Lock()
+	viaHelper()
+	b.mu.Unlock()
+}
+
+func viaHelper() { lockA() }
+
+func lockA() {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// sameClassOnly nests two locks in a fixed order everywhere; no
+// reversed path, no cycle, no diagnostic.
+func sameClassOnly() {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,22 @@
+// Package dep is the cross-package taint source for the nondetflow
+// fixture: Stamp's return value derives from the wall clock, and the
+// facts engine carries that fact across the package boundary.
+package dep
+
+import "time"
+
+// Stamp returns a wall-clock-derived tag (tainted return).
+func Stamp() string {
+	return time.Now().Format("150405.000")
+}
+
+// Echo passes its argument through to its return value; taint flows
+// with it (ParamToReturn).
+func Echo(s string) string {
+	return s
+}
+
+// Fixed returns a constant: never tainted.
+func Fixed() string {
+	return "fixed"
+}

@@ -1,0 +1,59 @@
+// Package nondetflow seeds nondeterminism-taint flows into
+// determinism sinks. Digest and Put stand in for the real sinks
+// (engine.SpecDigest, store keys); the test config names them in
+// NondetSinks, checking every Digest argument but only Put's key.
+package nondetflow
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/lint/testdata/src/nondetflow/dep"
+)
+
+// Digest is the fixture determinism sink: every argument checked.
+func Digest(parts ...string) string {
+	return fmt.Sprint(parts)
+}
+
+// Put is the fixture keyed sink: only argument 0 (the key) checked.
+func Put(key string, payload []byte) {}
+
+// crossPkg: wall-clock taint produced in another package reaches the
+// digest.
+func crossPkg() string {
+	tag := dep.Stamp()
+	return Digest("spec", tag) // want `nondeterministic value \(calls .*dep\.Stamp\) reaches determinism sink`
+}
+
+// randKey: unseeded rand flows through fmt.Sprintf into a store key.
+func randKey() {
+	k := fmt.Sprintf("job-%d", rand.Int())
+	Put(k, nil) // want `nondeterministic value \(unseeded math/rand\.Int\) reaches determinism sink`
+}
+
+// passThrough: taint survives a pass-through helper (ParamToReturn).
+func passThrough() string {
+	return Digest(dep.Echo(dep.Stamp())) // want `reaches determinism sink`
+}
+
+// mapOrder: keys collected from a map range without a sort are
+// nondeterministically ordered when they hit the digest.
+func mapOrder(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return Digest(keys...) // want `nondeterministic value \(map iteration order\) reaches determinism sink`
+}
+
+// payloadOK: the unchecked payload argument may carry wall-clock data
+// (observability timestamps do); only the key matters.
+func payloadOK(b []byte) {
+	Put(dep.Fixed(), b)
+}
+
+// seededOK: derived from the spec and a constant; clean.
+func seededOK(spec string) string {
+	return Digest(spec, dep.Fixed())
+}
